@@ -1,0 +1,25 @@
+"""Benchmark: the O(H) vs O(H^2) complexity claim of Section IV-B.
+
+Measures forward+backward wall time of window attention vs canonical
+self-attention over growing H and checks the empirical log-log slopes:
+canonical clearly super-linear, window attention clearly sub-quadratic,
+and canonical growing faster than window.
+"""
+
+from __future__ import annotations
+
+from repro.harness import attention_scaling
+
+from conftest import run_once
+
+
+def test_attention_scaling(benchmark, settings, results_dir):
+    result = run_once(benchmark, lambda: attention_scaling.run(settings=settings))
+    result.save(results_dir)
+    canonical = result.extras["canonical_slope"]
+    window = result.extras["window_slope"]
+    benchmark.extra_info["canonical_slope"] = canonical
+    benchmark.extra_info["window_slope"] = window
+    assert canonical > window + 0.3
+    assert canonical > 1.3  # clearly super-linear
+    assert window < 1.7  # clearly sub-quadratic

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 10 (training runtime vs history length H).
+
+Asserts the paper's efficiency shape: ST-WA's runtime growth factor from
+H=12 to the longest H is the smallest among the compared models.
+"""
+
+from __future__ import annotations
+
+from repro.harness import figure10
+
+from conftest import run_once
+
+
+def test_figure10(benchmark, settings, full_grid, results_dir):
+    def run():
+        if full_grid:
+            return figure10.run(settings=settings)
+        return figure10.run(settings=settings, models=("STFGNN", "AGCRN", "ST-WA"), histories=(12, 48))
+
+    result = run_once(benchmark, run)
+    result.save(results_dir)
+    seconds = result.extras["seconds"]
+    growth = {model: times[-1] / max(times[0], 1e-9) for model, times in seconds.items()}
+    assert growth["ST-WA"] <= min(growth[m] for m in growth) * 1.5  # smallest-ish growth

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 9 (t-SNE of learned stochastic variables).
+
+Asserts the qualitative claims quantitatively: the spatial latents z^(i)
+cluster by corridor/direction well above the random-assignment floor, and
+the generated projections phi_t spread across time windows.
+"""
+
+from __future__ import annotations
+
+from repro.harness import figure9
+
+from conftest import run_once
+
+
+def test_figure9(benchmark, settings, results_dir):
+    result = run_once(benchmark, lambda: figure9.run(settings=settings, num_anchor_windows=40))
+    result.save(results_dir)
+    assert result.extras["z_purity"] > 0.3  # well above 1/num_lanes random floor
+    assert result.extras["phi_spread"] > 0.0  # parameters vary across windows

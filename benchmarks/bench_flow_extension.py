@@ -1,0 +1,46 @@
+"""Benchmark: normalizing-flow latents vs Gaussian latents (future work).
+
+The paper's conclusion proposes non-Gaussian latent variables via
+normalizing flows; this repository implements them (repro.core.flows).
+The bench trains Gaussian ST-WA and flow-ST-WA under identical budgets and
+reports both, plus the parameter/runtime overhead of the flows.
+"""
+
+from __future__ import annotations
+
+from repro.harness import get_dataset, train_and_score
+from repro.harness.reporting import TableResult, fmt
+
+from conftest import run_once
+
+
+def test_flow_extension(benchmark, settings, results_dir):
+    def run():
+        dataset = get_dataset("PEMS04", settings.profile)
+        gaussian = train_and_score("ST-WA", dataset, 12, 12, settings)
+        flowed = train_and_score("ST-WA-flow", dataset, 12, 12, settings)
+        return TableResult(
+            experiment_id="flow_extension",
+            title=f"Gaussian vs normalizing-flow latents (scope={settings.scope})",
+            headers=["", "MAE", "MAPE", "RMSE", "s/epoch", "# Para"],
+            rows=[
+                [
+                    name,
+                    fmt(res["mae"]),
+                    fmt(res["mape"]),
+                    fmt(res["rmse"]),
+                    fmt(res["seconds_per_epoch"]),
+                    str(int(res["parameters"])),
+                ]
+                for name, res in (("ST-WA (Gaussian)", gaussian), ("ST-WA (planar flows)", flowed))
+            ],
+            notes=["Implements the paper's future-work direction (Section VI)."],
+            extras={"gaussian_mae": gaussian["mae"], "flow_mae": flowed["mae"]},
+        )
+
+    result = run_once(benchmark, run)
+    result.save(results_dir)
+    # the flows add parameters but must stay the same order of magnitude
+    params = [int(row[-1]) for row in result.rows]
+    assert params[1] > params[0]
+    assert params[1] < params[0] * 1.2

@@ -1,0 +1,19 @@
+"""Benchmark: per-horizon-step accuracy breakdown (companion analysis)."""
+
+from __future__ import annotations
+
+from repro.harness import horizon_report
+
+from conftest import run_once
+
+
+def test_horizon_report(benchmark, settings, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: horizon_report.run(settings=settings, models=("Persistence", "ST-WA")),
+    )
+    result.save(results_dir)
+    per_model = result.extras["per_model"]
+    # persistence error must grow with the step (structural truth of the data)
+    persistence = per_model["Persistence"]
+    assert persistence[12] > persistence[3]

@@ -1,0 +1,83 @@
+"""Microbenchmarks of the substrate: autodiff ops and training steps.
+
+Unlike the table benchmarks (one-shot end-to-end regenerations), these use
+pytest-benchmark's repeated timing to characterize the building blocks the
+reproduction's efficiency claims rest on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import WindowAttention, make_st_wa, STWALoss
+from repro.nn import MultiHeadSelfAttention
+from repro.optim import Adam
+from repro.tensor import Tensor, ops
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_matmul_forward_backward(benchmark, rng):
+    a = Tensor(rng.standard_normal((64, 128)), requires_grad=True)
+    b = Tensor(rng.standard_normal((128, 64)), requires_grad=True)
+
+    def step():
+        a.zero_grad()
+        b.zero_grad()
+        ops.matmul(a, b).sum().backward()
+
+    benchmark(step)
+
+
+def test_softmax_forward_backward(benchmark, rng):
+    x = Tensor(rng.standard_normal((64, 12, 128)), requires_grad=True)
+
+    def step():
+        x.zero_grad()
+        ops.softmax(x, axis=-1).sum().backward()
+
+    benchmark(step)
+
+
+def test_canonical_attention_layer(benchmark, rng):
+    layer = MultiHeadSelfAttention(16, 16, num_heads=2, rng=np.random.default_rng(1))
+    x = Tensor(rng.standard_normal((8, 8, 48, 16)), requires_grad=True)
+
+    def step():
+        x.zero_grad()
+        layer.zero_grad()
+        layer(x).sum().backward()
+
+    benchmark(step)
+
+
+def test_window_attention_layer(benchmark, rng):
+    layer = WindowAttention(8, 16, 16, num_windows=12, window_size=4, num_proxies=2, rng=np.random.default_rng(1))
+    x = Tensor(rng.standard_normal((8, 8, 48, 16)), requires_grad=True)
+
+    def step():
+        x.zero_grad()
+        layer.zero_grad()
+        layer(x).sum().backward()
+
+    benchmark(step)
+
+
+def test_st_wa_training_step(benchmark, rng):
+    model = make_st_wa(10, history=12, horizon=12, model_dim=16, latent_dim=8, skip_dim=32, predictor_hidden=64, seed=0)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    loss_fn = STWALoss()
+    x = Tensor(rng.standard_normal((16, 10, 12, 1)))
+    y = Tensor(rng.standard_normal((16, 10, 12, 1)))
+
+    def step():
+        optimizer.zero_grad()
+        loss = loss_fn(model(x), y, model=model)
+        loss.backward()
+        optimizer.step()
+
+    benchmark(step)

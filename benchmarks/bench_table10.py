@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table X (effect of the KL regularization term)."""
+
+from __future__ import annotations
+
+from repro.harness import table10
+
+from conftest import run_once
+
+
+def test_table10(benchmark, settings, results_dir):
+    result = run_once(benchmark, lambda: table10.run(settings=settings))
+    result.save(results_dir)
+    assert result.headers == ["Metric", "With", "Without"]
+    assert len(result.rows) == 3

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table XI (stochastic vs deterministic latents)."""
+
+from __future__ import annotations
+
+from repro.harness import table11
+
+from conftest import run_once
+
+
+def test_table11(benchmark, settings, results_dir):
+    result = run_once(benchmark, lambda: table11.run(settings=settings))
+    result.save(results_dir)
+    labels = [row[0] for row in result.rows]
+    assert labels == ["ST-WA", "Deterministic ST-WA"]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table XII (latent variable size k sweep)."""
+
+from __future__ import annotations
+
+from repro.harness import table12
+
+from conftest import run_once
+
+
+def test_table12(benchmark, settings, full_grid, results_dir):
+    def run():
+        if full_grid:
+            return table12.run(settings=settings)
+        return table12.run(settings=settings, sizes=(4, 16))
+
+    result = run_once(benchmark, run)
+    result.save(results_dir)
+    assert result.headers == ["k", "MAE", "MAPE", "RMSE"]

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table XIII (number of proxies p, H = U = 72).
+
+Asserts the paper's cost shape: parameters and per-epoch time grow with p.
+"""
+
+from __future__ import annotations
+
+from repro.harness import table13
+
+from conftest import run_once
+
+
+def test_table13(benchmark, settings, full_grid, results_dir):
+    def run():
+        if full_grid:
+            return table13.run(settings=settings)
+        return table13.run(settings=settings, proxies=(1, 2))
+
+    result = run_once(benchmark, run)
+    result.save(results_dir)
+    params = [int(row[-1]) for row in result.rows]
+    assert params == sorted(params)  # parameters grow with p

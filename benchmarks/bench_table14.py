@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table XIV (weighted vs mean proxy aggregator)."""
+
+from __future__ import annotations
+
+from repro.harness import table14
+
+from conftest import run_once
+
+
+def test_table14(benchmark, settings, results_dir):
+    result = run_once(benchmark, lambda: table14.run(settings=settings))
+    result.save(results_dir)
+    labels = [row[0] for row in result.rows]
+    assert labels == ["Mean Aggregator", "Our Aggregator"]

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table IV (overall accuracy, H = U = 12).
+
+Reduced default grid: two datasets x six representative models (one per
+architecture family plus ST-WA).  ``REPRO_BENCH_FULL=1`` restores the
+paper's full 4 x 12 grid.
+"""
+
+from __future__ import annotations
+
+from repro.harness import table4
+
+from conftest import run_once
+
+REDUCED_MODELS = ("LongFormer", "DCRNN", "GWN", "STFGNN", "AGCRN", "ST-WA")
+REDUCED_DATASETS = ("PEMS04", "PEMS08")
+
+
+def test_table4(benchmark, settings, full_grid, results_dir):
+    def run():
+        if full_grid:
+            return table4.run(settings=settings)
+        return table4.run(settings=settings, datasets=REDUCED_DATASETS, models=REDUCED_MODELS)
+
+    result = run_once(benchmark, run)
+    result.save(results_dir)
+    benchmark.extra_info["st_wa_wins"] = result.extras["st_wa_wins"]
+    # structural assertions: one row per dataset-metric pair, all cells filled
+    expected_rows = 3 * (4 if full_grid else len(REDUCED_DATASETS))
+    assert len(result.rows) == expected_rows
+    assert all(len(row) == len(result.headers) for row in result.rows)

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table V (impact of the history length H, PEMS04).
+
+Reduced default: H in {12, 36} with two models; the full grid sweeps
+H in {12, 36, 120} over the paper's four columns.
+"""
+
+from __future__ import annotations
+
+from repro.harness import table5
+
+from conftest import run_once
+
+
+def test_table5(benchmark, settings, full_grid, results_dir):
+    def run():
+        if full_grid:
+            return table5.run(settings=settings)
+        return table5.run(settings=settings, models=("AGCRN", "ST-WA"), histories=(12, 36))
+
+    result = run_once(benchmark, run)
+    result.save(results_dir)
+    assert [row[0] for row in result.rows] == ["MAE", "MAPE", "RMSE"]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table VII (model-agnostic +S / +ST enhancement)."""
+
+from __future__ import annotations
+
+from repro.harness import table7
+
+from conftest import run_once
+
+
+def test_table7(benchmark, settings, full_grid, results_dir):
+    def run():
+        if full_grid:
+            return table7.run(settings=settings)
+        return table7.run(settings=settings, datasets=("PEMS04",))
+
+    result = run_once(benchmark, run)
+    result.save(results_dir)
+    assert result.extras["total_chains"] >= 1
+    # the +S and +ST columns exist for both families
+    assert {"GRU", "GRU+S", "GRU+ST", "ATT", "ATT+S", "ATT+ST"} <= set(result.headers)

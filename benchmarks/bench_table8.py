@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table VIII (ablation: SA / WA-1 / WA / S-WA / ST-WA).
+
+Also asserts the paper's cost shape: the analytic memory of canonical
+self-attention (SA) exceeds the window-attention variants, and WA-1 has the
+fewest parameters.
+"""
+
+from __future__ import annotations
+
+from repro.harness import table8
+
+from conftest import run_once
+
+
+def test_table8(benchmark, settings, results_dir):
+    result = run_once(benchmark, lambda: table8.run(settings=settings))
+    result.save(results_dir)
+    header_index = {name: i for i, name in enumerate(result.headers)}
+    memory_row = next(row for row in result.rows if row[0].startswith("Memory"))
+    params_row = next(row for row in result.rows if row[0] == "# Para")
+    sa_memory = float(memory_row[header_index["SA"]])
+    wa_memory = float(memory_row[header_index["WA"]])
+    assert sa_memory > wa_memory  # quadratic vs linear attention memory
+    params = {name: int(params_row[header_index[name]]) for name in ("SA", "WA-1", "WA", "S-WA", "ST-WA")}
+    assert params["WA-1"] == min(params.values())
+    assert params["ST-WA"] >= params["S-WA"] >= params["WA"] > params["WA-1"]

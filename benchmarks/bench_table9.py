@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table IX (effect of window sizes and depth)."""
+
+from __future__ import annotations
+
+from repro.harness import table9
+
+from conftest import run_once
+
+
+def test_table9(benchmark, settings, full_grid, results_dir):
+    def run():
+        if full_grid:
+            return table9.run(settings=settings)
+        # reduced: one 3-layer stack, one 2-layer stack, the flat single layer
+        return table9.run(settings=settings, configurations=((3, 2, 2), (4, 3), (12,)))
+
+    result = run_once(benchmark, run)
+    result.save(results_dir)
+    assert result.headers[0] == "Metric"
+    assert any(h.startswith("S=") for h in result.headers[1:])

@@ -1,0 +1,45 @@
+"""Probabilistic forecasting from ST-WA's stochastic latents.
+
+The paper trains stochastic latent variables but only reports point
+forecasts.  Because the model parameters are *sampled* from Θ_t^(i),
+keeping the sampler active at inference time yields a forecast ensemble
+for free — this example trains ST-WA briefly and reports prediction
+intervals with coverage diagnostics.
+
+    python examples/probabilistic_forecasting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import make_st_wa
+from repro.data import SlidingWindowDataset, WindowSpec, load_dataset
+from repro.harness import RunSettings, train_and_score_model
+from repro.training import interval_diagnostics, predict_interval
+
+
+def main() -> None:
+    dataset = load_dataset("PEMS08", profile="fast")
+    model = make_st_wa(dataset.num_sensors, model_dim=16, latent_dim=8, skip_dim=32, predictor_hidden=128, seed=0)
+    settings = RunSettings.quick().with_overrides(epochs=10)
+    print("training ST-WA briefly ...")
+    metrics = train_and_score_model(model, dataset, 12, 12, settings, name="st-wa")
+    print(f"point-forecast test MAE: {metrics['mae']:.2f}\n")
+
+    windows = SlidingWindowDataset(dataset.test, WindowSpec(12, 12), raw=dataset.test_raw)
+    x, y = windows.sample(np.arange(32))
+    for level in (0.5, 0.8, 0.95):
+        forecast = predict_interval(model, x, dataset.scaler, num_samples=24, level=level)
+        diagnostics = interval_diagnostics(forecast, y)
+        print(
+            f"level={level:.2f}: empirical coverage={diagnostics['empirical_coverage']:.2f} "
+            f"mean width={diagnostics['mean_width']:.1f} veh/5min "
+            f"median MAE={diagnostics['median_mae']:.2f}"
+        )
+    print("\nWider nominal levels produce wider bands with higher coverage —")
+    print("the sampled parameters behave as an implicit predictive distribution.")
+
+
+if __name__ == "__main__":
+    main()

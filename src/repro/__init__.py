@@ -1,0 +1,53 @@
+"""repro — reproduction of "Towards Spatio-Temporal Aware Traffic Time
+Series Forecasting" (Cirstea et al., ICDE 2022).
+
+Subpackages
+-----------
+``repro.tensor``
+    From-scratch reverse-mode autodiff over NumPy (PyTorch substitute).
+``repro.nn``
+    Neural-network layer library (modules, attention, RNN, TCN, graph conv).
+``repro.optim``
+    Adam/SGD, clipping, schedules, early stopping.
+``repro.data``
+    Synthetic PEMS-like traffic datasets, road networks, windows, scalers.
+``repro.core``
+    The paper's contribution: ST-aware parameter generation, window
+    attention with proxies, sensor-correlation attention, the ST-WA model.
+``repro.baselines``
+    Every comparison model of the paper's Table IV.
+``repro.training``
+    Trainer, metrics (MAE/RMSE/MAPE), checkpoints, analytic memory model.
+``repro.analysis``
+    t-SNE, k-means, text plots (Figure 9 tooling).
+``repro.harness``
+    One runner per paper table/figure; see ``repro.harness.EXPERIMENTS``.
+
+Quickstart
+----------
+>>> from repro.data import load_dataset, WindowSpec
+>>> from repro.core import make_st_wa
+>>> from repro.training import Trainer, TrainerConfig
+>>> ds = load_dataset("PEMS04", profile="fast")
+>>> model = make_st_wa(ds.num_sensors)
+>>> trainer = Trainer(model, ds, WindowSpec(12, 12), TrainerConfig(epochs=5))
+>>> history = trainer.fit()  # doctest: +SKIP
+>>> trainer.evaluate("test")  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, baselines, core, data, harness, nn, optim, tensor, training
+
+__all__ = [
+    "tensor",
+    "nn",
+    "optim",
+    "data",
+    "core",
+    "baselines",
+    "training",
+    "analysis",
+    "harness",
+    "__version__",
+]

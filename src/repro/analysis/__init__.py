@@ -1,0 +1,16 @@
+"""Analysis tools: t-SNE, k-means, text plots (Figure 9 substrate)."""
+
+from .clustering import cluster_purity, kmeans
+from .tsne import TSNEConfig, kl_divergence_of_embedding, tsne
+from .visualize import ascii_line, ascii_scatter, export_series_csv
+
+__all__ = [
+    "tsne",
+    "TSNEConfig",
+    "kl_divergence_of_embedding",
+    "kmeans",
+    "cluster_purity",
+    "ascii_scatter",
+    "ascii_line",
+    "export_series_csv",
+]

@@ -1,0 +1,78 @@
+"""k-means clustering (sklearn substitute) for the Figure 9 analysis."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    iterations: int = 100,
+    restarts: int = 4,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Lloyd's algorithm with k-means++ seeding and restarts.
+
+    Returns ``(labels (n,), centroids (k, d), inertia)`` of the best restart.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected 2-D input, got shape {x.shape}")
+    n = x.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = np.random.default_rng(seed)
+    best: Optional[Tuple[np.ndarray, np.ndarray, float]] = None
+    for _ in range(restarts):
+        centroids = _kmeanspp_init(x, k, rng)
+        labels: Optional[np.ndarray] = None
+        for _ in range(iterations):
+            distances = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            new_labels = distances.argmin(axis=1)
+            # converged only if assignments are stable *after* at least one
+            # centroid update (labels is None on the first pass)
+            if labels is not None and (new_labels == labels).all():
+                break
+            labels = new_labels
+            for j in range(k):
+                members = x[labels == j]
+                if len(members):
+                    centroids[j] = members.mean(axis=0)
+        inertia = float(((x - centroids[labels]) ** 2).sum())
+        if best is None or inertia < best[2]:
+            best = (labels.copy(), centroids.copy(), inertia)
+    return best
+
+
+def _kmeanspp_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    n = x.shape[0]
+    centroids = [x[rng.integers(n)]]
+    for _ in range(1, k):
+        d2 = np.min(((x[:, None, :] - np.array(centroids)[None, :, :]) ** 2).sum(axis=2), axis=1)
+        total = d2.sum()
+        if total <= 0:
+            centroids.append(x[rng.integers(n)])
+            continue
+        probabilities = d2 / total
+        centroids.append(x[rng.choice(n, p=probabilities)])
+    return np.array(centroids)
+
+
+def cluster_purity(labels: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Fraction of points whose cluster's majority ground-truth matches theirs.
+
+    Used to check that z^(i) clusters align with corridors (Fig. 9b/9c).
+    """
+    labels = np.asarray(labels)
+    ground_truth = np.asarray(ground_truth)
+    if labels.shape != ground_truth.shape:
+        raise ValueError("labels and ground_truth must have the same shape")
+    correct = 0
+    for cluster in np.unique(labels):
+        members = ground_truth[labels == cluster]
+        values, counts = np.unique(members, return_counts=True)
+        correct += counts.max()
+    return correct / len(labels)

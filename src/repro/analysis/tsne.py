@@ -1,0 +1,124 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) — sklearn substitute.
+
+Used by the Figure 9 reproduction to embed the generated projection matrices
+φ_t^(i) and the spatial latents z^(i) into 2-D.  Exact (O(n²)) affinities
+with perplexity calibration by bisection, early exaggeration, and momentum
+gradient descent — the standard recipe, sized for the few-hundred-point
+embeddings the paper visualizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class TSNEConfig:
+    """Hyper-parameters of the t-SNE optimizer."""
+
+    perplexity: float = 12.0
+    learning_rate: float = 100.0
+    iterations: int = 400
+    early_exaggeration: float = 6.0
+    exaggeration_iters: int = 80
+    momentum: float = 0.8
+    seed: int = 0
+
+
+def _pairwise_squared_distances(x: np.ndarray) -> np.ndarray:
+    norms = (x * x).sum(axis=1)
+    d2 = norms[:, None] + norms[None, :] - 2.0 * (x @ x.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def _calibrate_affinities(d2: np.ndarray, perplexity: float, tol: float = 1e-4, max_iter: int = 60) -> np.ndarray:
+    """Per-point bisection on the Gaussian bandwidth to match perplexity."""
+    n = d2.shape[0]
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        beta, beta_low, beta_high = 1.0, 0.0, np.inf
+        row = np.delete(d2[i], i)
+        for _ in range(max_iter):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= 0:
+                entropy, p_row = 0.0, np.zeros_like(row)
+            else:
+                p_row = weights / total
+                entropy = float(-(p_row * np.log(np.clip(p_row, 1e-12, None))).sum())
+            error = entropy - target_entropy
+            if abs(error) < tol:
+                break
+            if error > 0:
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = beta / 2.0 if beta_low == 0.0 else (beta + beta_low) / 2.0
+        probabilities[i, np.arange(n) != i] = p_row
+    return probabilities
+
+
+def tsne(
+    x: np.ndarray,
+    config: Optional[TSNEConfig] = None,
+    n_components: int = 2,
+) -> np.ndarray:
+    """Embed ``x (n, features)`` into ``(n, n_components)``."""
+    config = config or TSNEConfig()
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected 2-D input, got shape {x.shape}")
+    n = x.shape[0]
+    if n < 3:
+        raise ValueError("t-SNE needs at least 3 points")
+    perplexity = min(config.perplexity, (n - 1) / 3.0)
+
+    d2 = _pairwise_squared_distances(x)
+    conditional = _calibrate_affinities(d2, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    np.maximum(joint, 1e-12, out=joint)
+
+    rng = np.random.default_rng(config.seed)
+    embedding = rng.standard_normal((n, n_components)) * 1e-2
+    velocity = np.zeros_like(embedding)
+
+    for iteration in range(config.iterations):
+        exaggeration = config.early_exaggeration if iteration < config.exaggeration_iters else 1.0
+        p = joint * exaggeration
+
+        dist = _pairwise_squared_distances(embedding)
+        student = 1.0 / (1.0 + dist)
+        np.fill_diagonal(student, 0.0)
+        q = student / max(student.sum(), 1e-12)
+        np.maximum(q, 1e-12, out=q)
+
+        # gradient: 4 * sum_j (p_ij - q_ij) * student_ij * (y_i - y_j)
+        coefficient = (p - q) * student
+        grad = 4.0 * (
+            np.diag(coefficient.sum(axis=1)) - coefficient
+        ) @ embedding
+
+        velocity = config.momentum * velocity - config.learning_rate * grad
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0)
+    return embedding
+
+
+def kl_divergence_of_embedding(x: np.ndarray, embedding: np.ndarray, perplexity: float = 12.0) -> float:
+    """KL(P || Q) of an embedding — the t-SNE objective, for quality checks."""
+    n = x.shape[0]
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    conditional = _calibrate_affinities(_pairwise_squared_distances(x), perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    np.maximum(joint, 1e-12, out=joint)
+    student = 1.0 / (1.0 + _pairwise_squared_distances(embedding))
+    np.fill_diagonal(student, 0.0)
+    q = student / max(student.sum(), 1e-12)
+    np.maximum(q, 1e-12, out=q)
+    return float((joint * np.log(joint / q)).sum())

@@ -1,0 +1,84 @@
+"""Text-mode plotting (no matplotlib offline) and CSV export for figures."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    width: int = 60,
+    height: int = 22,
+) -> str:
+    """Render points as a character grid; ``labels`` pick the glyph per point."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    glyphs = "abcdefghijklmnopqrstuvwxyz0123456789"
+    grid = [[" "] * width for _ in range(height)]
+    x_span = x.max() - x.min() or 1.0
+    y_span = y.max() - y.min() or 1.0
+    for i in range(len(x)):
+        col = int((x[i] - x.min()) / x_span * (width - 1))
+        row = int((y.max() - y[i]) / y_span * (height - 1))
+        glyph = "*" if labels is None else glyphs[int(labels[i]) % len(glyphs)]
+        grid[row][col] = glyph
+    border = "+" + "-" * width + "+"
+    return "\n".join([border] + ["|" + "".join(row) + "|" for row in grid] + [border])
+
+
+def ascii_line(
+    series: Dict[str, Sequence[float]],
+    x_values: Optional[Sequence[float]] = None,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Multi-series line chart; one glyph per series, legend appended."""
+    if not series:
+        raise ValueError("series must not be empty")
+    glyphs = "*o+x#@%&"
+    all_values = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    low, high = float(all_values.min()), float(all_values.max())
+    span = high - low or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        values = np.asarray(values, dtype=np.float64)
+        glyph = glyphs[index % len(glyphs)]
+        legend.append(f"{glyph} = {name}")
+        positions = np.linspace(0, width - 1, len(values)).astype(int)
+        for column, value in zip(positions, values):
+            row = int((high - value) / span * (height - 1))
+            grid[row][column] = glyph
+    border = "+" + "-" * width + "+"
+    lines = [f"max={high:.2f}", border]
+    lines += ["|" + "".join(row) + "|" for row in grid]
+    lines += [border, f"min={low:.2f}", "  ".join(legend)]
+    if x_values is not None:
+        lines.append(f"x: {list(x_values)}")
+    return "\n".join(lines)
+
+
+def export_series_csv(path: PathLike, columns: Dict[str, Sequence]) -> Path:
+    """Write aligned columns to CSV (for replotting figures elsewhere)."""
+    if not columns:
+        raise ValueError("columns must not be empty")
+    lengths = {len(v) for v in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"columns have unequal lengths: { {k: len(v) for k, v in columns.items()} }")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns.keys())
+        writer.writerows(zip(*columns.values()))
+    return path

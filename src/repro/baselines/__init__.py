@@ -1,0 +1,64 @@
+"""Baseline forecasters: every comparison model of the paper's Table IV.
+
+See :mod:`repro.baselines.registry` for the name -> builder map used by the
+experiment harness; DESIGN.md §3 documents what each "lite" reimplementation
+preserves from the original.
+"""
+
+from .agcrn import AGCRNCell, AGCRNForecaster
+from .astgnn import ASTGNNForecaster, TrendAwareAttention
+from .base import PredictorHead, check_input, flatten_time
+from .classical import PersistenceForecaster, VARForecaster, WindowMeanForecaster
+from .dcrnn import DCGRUCell, DCRNNForecaster, DCRNNSeq2Seq
+from .enhancenet import EnhanceNetForecaster
+from .gru_seq2seq import GRUForecaster
+from .gwn import GWNForecaster
+from .meta_lstm import MetaLSTMForecaster
+from .registry import (
+    MODEL_BUILDERS,
+    MODEL_FAMILIES,
+    available_models,
+    build_model,
+    model_family,
+)
+from .stfgnn import STFGNNForecaster, similarity_graph
+from .stg2seq import STG2SeqForecaster
+from .stgcn import STGCNBlock, STGCNForecaster
+from .tcn import TCNForecaster
+from .stsgcn import STSGCNForecaster, build_st_block_adjacency
+from .transformer import ATTForecaster, LongFormerForecaster
+
+__all__ = [
+    "PredictorHead",
+    "check_input",
+    "flatten_time",
+    "PersistenceForecaster",
+    "WindowMeanForecaster",
+    "VARForecaster",
+    "GRUForecaster",
+    "ATTForecaster",
+    "LongFormerForecaster",
+    "DCRNNForecaster",
+    "DCRNNSeq2Seq",
+    "DCGRUCell",
+    "STGCNForecaster",
+    "TCNForecaster",
+    "STGCNBlock",
+    "STG2SeqForecaster",
+    "GWNForecaster",
+    "STSGCNForecaster",
+    "build_st_block_adjacency",
+    "ASTGNNForecaster",
+    "TrendAwareAttention",
+    "STFGNNForecaster",
+    "similarity_graph",
+    "EnhanceNetForecaster",
+    "AGCRNForecaster",
+    "AGCRNCell",
+    "MetaLSTMForecaster",
+    "MODEL_BUILDERS",
+    "MODEL_FAMILIES",
+    "available_models",
+    "build_model",
+    "model_family",
+]

@@ -1,0 +1,66 @@
+"""AGCRN-lite: adaptive graph convolutional recurrent network [18].
+
+The defining mechanism — Node Adaptive Parameter Learning, where each node's
+weights are selected from a shared pool via a learned node embedding, plus a
+fully learned adaptive adjacency — is kept inside a GRU recurrence.  This is
+the strongest *spatial-aware* baseline of the paper (Table IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, NodeAdaptiveGraphConv
+from ..tensor import Tensor, ops
+from .base import PredictorHead, check_input
+
+
+class AGCRNCell(Module):
+    """GRU cell whose gate transforms are node-adaptive graph convolutions."""
+
+    def __init__(self, in_features: int, hidden_size: int, num_nodes: int, embed_dim: int = 8, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.hidden_size = hidden_size
+        self.gate_conv = NodeAdaptiveGraphConv(
+            in_features + hidden_size, 2 * hidden_size, num_nodes, embed_dim=embed_dim, rng=rng
+        )
+        self.candidate_conv = NodeAdaptiveGraphConv(
+            in_features + hidden_size, hidden_size, num_nodes, embed_dim=embed_dim, rng=rng
+        )
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        combined = ops.concat([x, h], axis=-1)
+        gates = ops.sigmoid(self.gate_conv(combined))
+        reset = gates[..., : self.hidden_size]
+        update = gates[..., self.hidden_size :]
+        candidate = ops.tanh(self.candidate_conv(ops.concat([x, reset * h], axis=-1)))
+        return update * h + (1.0 - update) * candidate
+
+
+class AGCRNForecaster(Module):
+    """AGCRN encoder + MLP predictor."""
+
+    def __init__(
+        self,
+        num_sensors: int,
+        history: int,
+        horizon: int,
+        in_features: int = 1,
+        hidden_size: int = 16,
+        embed_dim: int = 8,
+        predictor_hidden: int = 128,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.history = history
+        self.cell = AGCRNCell(in_features, hidden_size, num_sensors, embed_dim=embed_dim, rng=rng)
+        self.head = PredictorHead(hidden_size, horizon, in_features, hidden=predictor_hidden, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, sensors, history, _ = check_input(x, self.history)
+        hidden = Tensor(np.zeros((batch, sensors, self.cell.hidden_size)))
+        for t in range(history):
+            hidden = self.cell(x[:, :, t, :], hidden)
+        return self.head(hidden)

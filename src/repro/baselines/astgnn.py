@@ -1,0 +1,78 @@
+"""ASTGNN-lite [33]: self-attention with local-context embedding.
+
+The defining mechanism: before attention, queries/keys are produced by a 1-D
+*causal convolution* over the time axis so each position carries local trend
+context ("trend-aware attention"), combined with graph convolution over the
+sensor axis.  This was the strongest ST-agnostic baseline in Table IV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import CausalConv1d, GraphConv, LayerNorm, Module, ModuleList, Parameter, init
+from ..tensor import Tensor, ops
+from .base import PredictorHead, check_input, flatten_time
+
+
+class TrendAwareAttention(Module):
+    """Self-attention whose Q/K come from causal convolutions (local context)."""
+
+    def __init__(self, in_features: int, model_dim: int, kernel_size: int = 3, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.model_dim = model_dim
+        self.query_conv = CausalConv1d(in_features, model_dim, kernel_size=kernel_size, rng=rng)
+        self.key_conv = CausalConv1d(in_features, model_dim, kernel_size=kernel_size, rng=rng)
+        self.value_proj = Parameter(init.xavier_uniform((in_features, model_dim), rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        query = self.query_conv(x)
+        key = self.key_conv(x)
+        value = ops.matmul(x, self.value_proj)
+        scale = 1.0 / np.sqrt(self.model_dim)
+        scores = ops.softmax(ops.matmul(query, ops.swapaxes(key, -1, -2)) * scale, axis=-1)
+        return ops.matmul(scores, value)
+
+
+class ASTGNNForecaster(Module):
+    """Trend-aware attention + graph convolution blocks, stacked."""
+
+    def __init__(
+        self,
+        num_sensors: int,
+        adj: np.ndarray,
+        history: int,
+        horizon: int,
+        in_features: int = 1,
+        model_dim: int = 16,
+        num_layers: int = 2,
+        predictor_hidden: int = 128,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.history = history
+        self.attentions = ModuleList()
+        self.graphs = ModuleList()
+        self.norms = ModuleList()
+        channels = in_features
+        for _ in range(num_layers):
+            self.attentions.append(TrendAwareAttention(channels, model_dim, rng=rng))
+            self.graphs.append(GraphConv(model_dim, model_dim, adj, rng=rng))
+            self.norms.append(LayerNorm(model_dim))
+            channels = model_dim
+        self.head = PredictorHead(history * model_dim, horizon, in_features, hidden=predictor_hidden, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        check_input(x, self.history)
+        hidden = x
+        for attention, graph, norm in zip(self.attentions, self.graphs, self.norms):
+            out = attention(hidden)
+            spatial = ops.swapaxes(out, 1, 2)  # (B, T, N, d)
+            spatial = ops.relu(graph(spatial))
+            out = out + ops.swapaxes(spatial, 1, 2)
+            if hidden.shape[-1] == out.shape[-1]:
+                out = out + hidden
+            hidden = norm(out)
+        return self.head(flatten_time(hidden))

@@ -1,0 +1,58 @@
+"""Shared plumbing for baseline forecasters.
+
+Every baseline maps scaled histories ``(B, N, H, F)`` to scaled forecasts
+``(B, N, U, F)`` — the same contract as :class:`repro.core.STWA` — so the
+harness can swap models freely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import MLP, Module
+from ..tensor import Tensor, ops
+
+
+class PredictorHead(Module):
+    """Two-layer ReLU head mapping per-sensor features to a U-step forecast.
+
+    Mirrors the predictor of the paper's full model (Eq. 19) so capacity is
+    comparable across every model in the study.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        horizon: int,
+        out_features: int = 1,
+        hidden: int = 128,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.horizon = horizon
+        self.out_features = out_features
+        self.mlp = MLP([in_features, hidden, horizon * out_features], activation="relu", rng=rng)
+
+    def forward(self, features: Tensor) -> Tensor:
+        """``(B, N, in_features)`` -> ``(B, N, U, F)``."""
+        out = self.mlp(features)
+        batch, sensors, _ = features.shape
+        return ops.reshape(out, (batch, sensors, self.horizon, self.out_features))
+
+
+def flatten_time(x: Tensor) -> Tensor:
+    """``(B, N, H, F)`` -> ``(B, N, H*F)``."""
+    batch, sensors, history, features = x.shape
+    return ops.reshape(x, (batch, sensors, history * features))
+
+
+def check_input(x: Tensor, history: int) -> tuple[int, int, int, int]:
+    """Validate a ``(B, N, H, F)`` batch and return its dimensions."""
+    if x.ndim != 4:
+        raise ValueError(f"expected (B, N, H, F) input, got shape {x.shape}")
+    batch, sensors, got_history, features = x.shape
+    if got_history != history:
+        raise ValueError(f"expected history {history}, got {got_history}")
+    return batch, sensors, got_history, features

@@ -1,0 +1,99 @@
+"""Classical (non-deep) baselines: persistence, window mean, VAR.
+
+The paper's related work dismisses ARIMA/VAR for missing nonlinear dynamics;
+we include them both as sanity floors for the deep models and because a
+reproduction should demonstrate *that* gap, not assume it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import Tensor, ops
+from .base import check_input
+
+
+class PersistenceForecaster(Module):
+    """Repeat the last observed value across the horizon (no parameters)."""
+
+    def __init__(self, history: int, horizon: int):
+        super().__init__()
+        self.history = history
+        self.horizon = horizon
+
+    def forward(self, x: Tensor) -> Tensor:
+        check_input(x, self.history)
+        last = x[:, :, self.history - 1 : self.history, :]
+        return ops.concat([last] * self.horizon, axis=2)
+
+
+class WindowMeanForecaster(Module):
+    """Repeat the history-window mean across the horizon (no parameters)."""
+
+    def __init__(self, history: int, horizon: int):
+        super().__init__()
+        self.history = history
+        self.horizon = horizon
+
+    def forward(self, x: Tensor) -> Tensor:
+        check_input(x, self.history)
+        mean = ops.mean(x, axis=2, keepdims=True)
+        return ops.concat([mean] * self.horizon, axis=2)
+
+
+class VARForecaster(Module):
+    """Vector auto-regression fit by ridge-regularized least squares.
+
+    One linear map from the flattened history of *all* sensors to the next
+    step of all sensors, applied recursively over the horizon.  ``fit``
+    consumes a scaled ``(N, T, F)`` training array (F must be 1).  Shows the
+    linear-model ceiling the deep baselines must clear.
+    """
+
+    def __init__(self, num_sensors: int, history: int, horizon: int, ridge: float = 1e-3):
+        super().__init__()
+        self.num_sensors = num_sensors
+        self.history = history
+        self.horizon = horizon
+        self.ridge = ridge
+        self.coefficients: Optional[np.ndarray] = None  # (N*H + 1, N)
+
+    def fit(self, train: np.ndarray) -> "VARForecaster":
+        """Estimate AR coefficients from ``(N, T, 1)`` training data."""
+        if train.ndim != 3 or train.shape[2] != 1:
+            raise ValueError(f"expected (N, T, 1) training data, got {train.shape}")
+        if train.shape[0] != self.num_sensors:
+            raise ValueError("sensor count mismatch")
+        series = train[:, :, 0]  # (N, T)
+        n, total = series.shape
+        h = self.history
+        rows = total - h
+        if rows < n * h:
+            # keep the regression overdetermined; thin out lags if needed
+            pass
+        design = np.empty((rows, n * h))
+        target = np.empty((rows, n))
+        for row in range(rows):
+            design[row] = series[:, row : row + h].reshape(-1)
+            target[row] = series[:, row + h]
+        design = np.hstack([design, np.ones((rows, 1))])
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self.coefficients = np.linalg.solve(gram, design.T @ target)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.coefficients is None:
+            raise RuntimeError("VARForecaster.fit() must be called before forecasting")
+        batch, sensors, history, features = check_input(x, self.history)
+        window = x.numpy()[..., 0]  # (B, N, H)
+        outputs = np.empty((batch, sensors, self.horizon, 1))
+        for step in range(self.horizon):
+            flat = window.reshape(batch, sensors * history)
+            flat = np.hstack([flat, np.ones((batch, 1))])
+            next_step = flat @ self.coefficients  # (B, N)
+            outputs[:, :, step, 0] = next_step
+            window = np.concatenate([window[:, :, 1:], next_step[:, :, None]], axis=2)
+        return Tensor(outputs)

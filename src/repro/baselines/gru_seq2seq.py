@@ -1,0 +1,41 @@
+"""Plain GRU forecaster — the spatio-temporal agnostic RNN base of Table VII.
+
+One GRU shared across all sensors (sensors ride along the batch dimension),
+so the parameters are explicitly spatial-agnostic; no sensor correlation is
+modeled.  The paper's GRU+S / GRU+ST enhancements live in
+:mod:`repro.core.st_gru`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import GRU, Module
+from ..tensor import Tensor
+from .base import PredictorHead, check_input
+
+
+class GRUForecaster(Module):
+    """GRU encoder + MLP predictor per sensor."""
+
+    def __init__(
+        self,
+        history: int,
+        horizon: int,
+        in_features: int = 1,
+        hidden_size: int = 24,
+        predictor_hidden: int = 128,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.history = history
+        self.gru = GRU(in_features, hidden_size, rng=rng)
+        self.head = PredictorHead(hidden_size, horizon, in_features, hidden=predictor_hidden, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        check_input(x, self.history)
+        _, last_hidden = self.gru(x)  # (B, N, hidden)
+        return self.head(last_hidden)

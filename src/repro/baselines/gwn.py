@@ -1,0 +1,80 @@
+"""Graph WaveNet-lite [22].
+
+Defining mechanisms kept: dilated causal temporal convolutions with gated
+activations, a *learned adaptive adjacency* (node embeddings) alongside the
+given road graph, and skip connections aggregated into the predictor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    AdaptiveAdjacency,
+    GatedTemporalConv,
+    GraphConv,
+    Linear,
+    Module,
+    ModuleList,
+)
+from ..tensor import Tensor, ops
+from .base import PredictorHead, check_input
+
+
+class GWNLayer(Module):
+    """Gated dilated TCN + dual graph convolution (fixed + adaptive)."""
+
+    def __init__(self, channels: int, adj: np.ndarray, dilation: int, adaptive: AdaptiveAdjacency, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.temporal = GatedTemporalConv(channels, channels, kernel_size=2, dilation=dilation, rng=rng)
+        self.fixed_graph = GraphConv(channels, channels, adj, rng=rng)
+        self.adaptive = adaptive
+        self.adaptive_proj = Linear(channels, channels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.temporal(x)
+        spatial_in = ops.swapaxes(out, 1, 2)  # (B, T, N, C)
+        fixed = self.fixed_graph(spatial_in)
+        adaptive_adj = self.adaptive()
+        adaptive = self.adaptive_proj(ops.matmul(adaptive_adj, spatial_in))
+        mixed = ops.swapaxes(ops.relu(fixed + adaptive), 1, 2)
+        return mixed + out  # residual
+
+
+class GWNForecaster(Module):
+    """Stacked GWN layers with exponentially growing dilation."""
+
+    def __init__(
+        self,
+        num_sensors: int,
+        adj: np.ndarray,
+        history: int,
+        horizon: int,
+        in_features: int = 1,
+        channels: int = 16,
+        num_layers: int = 3,
+        embed_dim: int = 8,
+        predictor_hidden: int = 128,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.history = history
+        self.input_proj = Linear(in_features, channels, rng=rng)
+        self.adaptive = AdaptiveAdjacency(num_sensors, embed_dim=embed_dim, rng=rng)
+        self.layers = ModuleList(
+            GWNLayer(channels, adj, dilation=2**i, adaptive=self.adaptive, rng=rng) for i in range(num_layers)
+        )
+        self.skip_projs = ModuleList(Linear(channels, channels, rng=rng) for _ in range(num_layers))
+        self.head = PredictorHead(channels, horizon, in_features, hidden=predictor_hidden, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        check_input(x, self.history)
+        hidden = self.input_proj(x)
+        skip_total = None
+        for layer, proj in zip(self.layers, self.skip_projs):
+            hidden = layer(hidden)
+            skip = proj(hidden[:, :, -1, :])  # contribution of the last step
+            skip_total = skip if skip_total is None else skip_total + skip
+        return self.head(ops.relu(skip_total))

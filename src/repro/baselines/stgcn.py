@@ -1,0 +1,70 @@
+"""STGCN-lite: spatio-temporal graph convolutional network [29]/[23].
+
+Keeps the sandwich block structure that defines STGCN — gated temporal
+convolution, Chebyshev graph convolution, gated temporal convolution — with
+two stacked blocks and the shared predictor head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import ChebGraphConv, GatedTemporalConv, LayerNorm, Module, ModuleList
+from ..tensor import Tensor, ops
+from .base import PredictorHead, check_input
+
+
+class STGCNBlock(Module):
+    """Temporal conv -> graph conv -> temporal conv (the 'sandwich')."""
+
+    def __init__(self, in_channels: int, hidden: int, adj: np.ndarray, cheb_order: int = 2, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.temporal1 = GatedTemporalConv(in_channels, hidden, kernel_size=3, rng=rng)
+        self.graph = ChebGraphConv(hidden, hidden, adj, order=cheb_order, rng=rng)
+        self.temporal2 = GatedTemporalConv(hidden, hidden, kernel_size=3, rng=rng)
+        self.norm = LayerNorm(hidden)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``(B, N, T, C)`` -> ``(B, N, T, hidden)``."""
+        out = self.temporal1(x)
+        # graph conv mixes the sensor axis: move N next to features
+        mixed = ops.swapaxes(out, 1, 2)  # (B, T, N, hidden)
+        mixed = ops.relu(self.graph(mixed))
+        out = ops.swapaxes(mixed, 1, 2)
+        out = self.temporal2(out)
+        return self.norm(out)
+
+
+class STGCNForecaster(Module):
+    """Two STGCN blocks + MLP predictor over the flattened time axis."""
+
+    def __init__(
+        self,
+        num_sensors: int,
+        adj: np.ndarray,
+        history: int,
+        horizon: int,
+        in_features: int = 1,
+        hidden: int = 16,
+        num_blocks: int = 2,
+        predictor_hidden: int = 128,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.history = history
+        self.blocks = ModuleList()
+        channels = in_features
+        for _ in range(num_blocks):
+            self.blocks.append(STGCNBlock(channels, hidden, adj, rng=rng))
+            channels = hidden
+        self.head = PredictorHead(history * hidden, horizon, in_features, hidden=predictor_hidden, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, sensors, history, _ = check_input(x, self.history)
+        hidden = x
+        for block in self.blocks:
+            hidden = block(hidden)
+        flat = ops.reshape(hidden, (batch, sensors, history * hidden.shape[-1]))
+        return self.head(flat)

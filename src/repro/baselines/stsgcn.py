@@ -1,0 +1,105 @@
+"""STSGCN-lite: spatial-temporal synchronous graph convolution [30].
+
+The defining mechanism: a *localized spatio-temporal graph* spanning K=3
+consecutive timestamps (each sensor connected to itself at t-1/t/t+1 and to
+its road neighbours at t), convolved synchronously, sliding over the input.
+We materialize the (3N x 3N) block adjacency once and apply a shared graph
+convolution to every sliding group, taking the middle slice as output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, ModuleList, normalized_adjacency
+from ..nn.module import Parameter
+from ..nn import init
+from ..tensor import Tensor, ops
+from .base import PredictorHead, check_input
+
+
+def build_st_block_adjacency(adj: np.ndarray, steps: int = 3) -> np.ndarray:
+    """Block adjacency over ``steps`` copies of the sensor graph.
+
+    Diagonal blocks carry the spatial graph; off-diagonal identity blocks
+    connect each sensor to itself at adjacent timestamps (STSGCN Fig. 2).
+    """
+    n = adj.shape[0]
+    block = np.zeros((steps * n, steps * n))
+    spatial = np.asarray(adj, dtype=np.float64)
+    eye = np.eye(n)
+    for i in range(steps):
+        block[i * n : (i + 1) * n, i * n : (i + 1) * n] = spatial
+        if i + 1 < steps:
+            block[i * n : (i + 1) * n, (i + 1) * n : (i + 2) * n] = eye
+            block[(i + 1) * n : (i + 2) * n, i * n : (i + 1) * n] = eye
+    return normalized_adjacency(block)
+
+
+class STSGCMModule(Module):
+    """One synchronous graph convolution over a 3-step local ST graph."""
+
+    def __init__(self, in_features: int, out_features: int, adj: np.ndarray, steps: int = 3, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.steps = steps
+        self.block_adj = Tensor(build_st_block_adjacency(adj, steps))
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros(out_features))
+
+    def forward(self, group: Tensor) -> Tensor:
+        """``(B, steps*N, F)`` -> ``(B, N, out)`` (the middle time slice)."""
+        mixed = ops.matmul(self.block_adj, group)
+        out = ops.relu(ops.matmul(mixed, self.weight) + self.bias)
+        n = group.shape[1] // self.steps
+        middle = self.steps // 2
+        return out[:, middle * n : (middle + 1) * n, :]
+
+
+class STSGCNForecaster(Module):
+    """Sliding synchronous ST graph convolutions + MLP predictor."""
+
+    def __init__(
+        self,
+        num_sensors: int,
+        adj: np.ndarray,
+        history: int,
+        horizon: int,
+        in_features: int = 1,
+        hidden: int = 16,
+        num_layers: int = 2,
+        predictor_hidden: int = 128,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if history < 3:
+            raise ValueError("STSGCN needs history >= 3")
+        rng = np.random.default_rng(seed)
+        self.history = history
+        self.num_sensors = num_sensors
+        self.layers = ModuleList()
+        channels = in_features
+        for _ in range(num_layers):
+            self.layers.append(STSGCMModule(channels, hidden, adj, rng=rng))
+            channels = hidden
+        # after each layer the time axis shrinks by 2 (valid sliding window)
+        final_steps = history - 2 * num_layers
+        if final_steps < 1:
+            raise ValueError("too many layers for this history length")
+        self.final_steps = final_steps
+        self.head = PredictorHead(final_steps * hidden, horizon, in_features, hidden=predictor_hidden, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, sensors, history, _ = check_input(x, self.history)
+        hidden = x
+        for layer in self.layers:
+            steps = hidden.shape[2]
+            outputs = []
+            for t in range(steps - 2):
+                group = ops.concat(
+                    [hidden[:, :, t, :], hidden[:, :, t + 1, :], hidden[:, :, t + 2, :]], axis=1
+                )  # (B, 3N, F)
+                outputs.append(layer(group))
+            hidden = ops.stack(outputs, axis=2)  # (B, N, steps-2, hidden)
+        flat = ops.reshape(hidden, (batch, sensors, self.final_steps * hidden.shape[-1]))
+        return self.head(flat)

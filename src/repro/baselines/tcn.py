@@ -1,0 +1,47 @@
+"""Plain TCN forecaster — the third spatio-temporal agnostic family.
+
+The paper names three families its framework can enhance: RNNs, TCNs, and
+attentions (Section IV-A.1).  Tables VII covers GRU and ATT; this baseline
+completes the set so the TCN enhancement (repro.core.st_tcn) has its
+agnostic reference point.  Stacked gated dilated causal convolutions with
+residuals, shared across all sensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import GatedTemporalConv, Linear, Module, ModuleList
+from ..tensor import Tensor, ops
+from .base import PredictorHead, check_input
+
+
+class TCNForecaster(Module):
+    """Gated dilated TCN stack + MLP predictor (spatio-temporal agnostic)."""
+
+    def __init__(
+        self,
+        history: int,
+        horizon: int,
+        in_features: int = 1,
+        channels: int = 16,
+        num_layers: int = 3,
+        predictor_hidden: int = 128,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.history = history
+        self.input_proj = Linear(in_features, channels, rng=rng)
+        self.layers = ModuleList(
+            GatedTemporalConv(channels, channels, kernel_size=2, dilation=2**i, rng=rng)
+            for i in range(num_layers)
+        )
+        self.head = PredictorHead(channels, horizon, in_features, hidden=predictor_hidden, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        check_input(x, self.history)
+        hidden = self.input_proj(x)
+        for layer in self.layers:
+            hidden = layer(hidden) + hidden  # residual
+        return self.head(hidden[:, :, -1, :])

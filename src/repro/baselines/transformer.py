@@ -1,0 +1,96 @@
+"""Attention baselines: canonical Transformer (ATT / SA) and LongFormer.
+
+* :class:`ATTForecaster` — stacked canonical self-attention with *static*
+  Q/K/V shared across sensors and time: the spatio-temporal agnostic
+  attention the paper starts from (Eq. 2-3) and the "SA" row of Table VIII.
+* :class:`LongFormerForecaster` — the sliding-window attention baseline [35]
+  with O(H·S) complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import LayerNorm, Linear, Module, ModuleList, MultiHeadSelfAttention, SlidingWindowSelfAttention
+from ..tensor import Tensor, ops
+from .base import PredictorHead, check_input, flatten_time
+
+
+class ATTForecaster(Module):
+    """Canonical self-attention forecaster (paper's ATT baseline / SA ablation)."""
+
+    def __init__(
+        self,
+        history: int,
+        horizon: int,
+        in_features: int = 1,
+        model_dim: int = 16,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        predictor_hidden: int = 128,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.history = history
+        self.model_dim = model_dim
+        self.layers = ModuleList()
+        self.norms = ModuleList()
+        dims = in_features
+        for _ in range(num_layers):
+            self.layers.append(MultiHeadSelfAttention(dims, model_dim, num_heads=num_heads, rng=rng))
+            self.norms.append(LayerNorm(model_dim))
+            dims = model_dim
+        self.head = PredictorHead(history * model_dim, horizon, in_features, hidden=predictor_hidden, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        check_input(x, self.history)
+        hidden = x
+        for layer, norm in zip(self.layers, self.norms):
+            out = layer(hidden)
+            if hidden.shape[-1] == out.shape[-1]:
+                out = out + hidden  # residual once dimensions align
+            hidden = norm(out)
+        return self.head(flatten_time(hidden))
+
+
+class LongFormerForecaster(Module):
+    """Sliding-window attention forecaster (LongFormer [35])."""
+
+    def __init__(
+        self,
+        history: int,
+        horizon: int,
+        in_features: int = 1,
+        model_dim: int = 16,
+        window: int = 2,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        predictor_hidden: int = 128,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.history = history
+        self.layers = ModuleList()
+        self.norms = ModuleList()
+        dims = in_features
+        for _ in range(num_layers):
+            self.layers.append(
+                SlidingWindowSelfAttention(dims, model_dim, window=window, num_heads=num_heads, rng=rng)
+            )
+            self.norms.append(LayerNorm(model_dim))
+            dims = model_dim
+        self.head = PredictorHead(history * model_dim, horizon, in_features, hidden=predictor_hidden, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        check_input(x, self.history)
+        hidden = x
+        for layer, norm in zip(self.layers, self.norms):
+            out = layer(hidden)
+            if hidden.shape[-1] == out.shape[-1]:
+                out = out + hidden
+            hidden = norm(out)
+        return self.head(flatten_time(hidden))

@@ -1,0 +1,68 @@
+"""Decoding latent variables to model parameters (paper Eq. 8).
+
+The decoder D_ω is a shared MLP that maps each sensor's latent Θ_t^(i) to
+that sensor's *model parameters* — projection matrices for attentions, gate
+weights for RNNs.  Sharing D_ω across sensors is what makes the approach
+scale: the naive per-sensor parameterization is O(N·d²) while this is
+O(N·k + k·m₁ + m₁·m₂ + m₂·d²) (Section IV-A.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import MLP, Module
+from ..tensor import Tensor, ops
+
+
+class ParameterDecoder(Module):
+    """Shared decoder D_ω: latent ``(..., k)`` -> named weight matrices.
+
+    Parameters
+    ----------
+    latent_dim:
+        Size k of the latent space.
+    shapes:
+        Mapping from parameter name to ``(in_features, out_features)``; e.g.
+        ``{"K": (F, d), "V": (F, d)}`` for window attention or
+        ``{"Q": ..., "K": ..., "V": ...}`` for canonical attention (Fig. 5).
+    hidden:
+        Widths of the decoder's hidden layers (paper default: 16, 32).
+    """
+
+    def __init__(
+        self,
+        latent_dim: int,
+        shapes: Mapping[str, Tuple[int, int]],
+        hidden: Sequence[int] = (16, 32),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if not shapes:
+            raise ValueError("shapes must contain at least one parameter")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.latent_dim = latent_dim
+        self.shapes: Dict[str, Tuple[int, int]] = dict(shapes)
+        self._offsets: Dict[str, Tuple[int, int]] = {}
+        offset = 0
+        for name, (fan_in, fan_out) in self.shapes.items():
+            size = fan_in * fan_out
+            self._offsets[name] = (offset, offset + size)
+            offset += size
+        self.total_size = offset
+        self.mlp = MLP([latent_dim, *hidden, self.total_size], activation="relu", rng=rng)
+        # Small output scale keeps generated projections near the magnitude a
+        # Xavier-initialized static projection would have at the start.
+        self._scale = 1.0 / np.sqrt(max(hidden[-1], 1))
+
+    def forward(self, theta: Tensor) -> Dict[str, Tensor]:
+        """Decode ``theta (..., k)`` to ``{name: (..., in, out)}`` matrices."""
+        flat = self.mlp(theta) * self._scale
+        out: Dict[str, Tensor] = {}
+        for name, (fan_in, fan_out) in self.shapes.items():
+            start, stop = self._offsets[name]
+            block = flat[..., start:stop]
+            out[name] = ops.reshape(block, (*block.shape[:-1], fan_in, fan_out))
+        return out

@@ -1,0 +1,188 @@
+"""Stochastic latent variables Θ_t^(i) (paper Section IV-A).
+
+Θ_t^(i) = z^(i) + z_t^(i)  (Eq. 4), where
+
+* z^(i)   ~ N(μ^(i), Σ^(i))      — *spatial-aware*: μ, Σ are directly
+  learnable per sensor (Eq. 5); captures each location's prominent pattern.
+* z_t^(i) ~ N(μ_t^(i), Σ_t^(i))  — *temporal adaption*: a variational
+  encoder E_ψ maps the most recent H observations of sensor i to the
+  distribution parameters (Eq. 6-7); captures deviations at time t.
+
+Covariances are diagonal (as the paper enforces) and carried as log-variance
+for numerical stability.  Sampling uses the reparameterization trick so the
+whole parameter-generation pipeline trains end-to-end (Eq. 20).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import MLP, Module, Parameter
+from ..tensor import Tensor, ops
+
+
+class SpatialLatent(Module):
+    """Directly learnable per-sensor Gaussian z^(i) ~ N(μ^(i), Σ^(i)) (Eq. 5).
+
+    Purely data-driven — no POI or location features, per the paper's design
+    consideration.  ``deterministic=True`` collapses the distribution to its
+    mean (the ablation of Table XI / the EnhanceNet special case).
+    """
+
+    def __init__(
+        self,
+        num_sensors: int,
+        latent_dim: int,
+        deterministic: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_sensors = num_sensors
+        self.latent_dim = latent_dim
+        self.deterministic = deterministic
+        self.mu = Parameter(rng.standard_normal((num_sensors, latent_dim)) * 0.1)
+        self.log_var = Parameter(np.full((num_sensors, latent_dim), -4.0))
+        self._rng = rng
+
+    def distribution(self) -> Tuple[Tensor, Tensor]:
+        """Return ``(mu, log_var)``, each ``(N, k)``."""
+        return self.mu, self.log_var
+
+    def sample(self) -> Tensor:
+        """Draw z ``(N, k)`` via reparameterization (mean if deterministic)."""
+        if self.deterministic or not self.training:
+            return self.mu
+        eps = Tensor(self._rng.standard_normal(self.mu.shape))
+        return self.mu + ops.exp(0.5 * self.log_var) * eps
+
+
+class TemporalLatentEncoder(Module):
+    """Variational encoder E_ψ producing z_t^(i) from recent history (Eq. 6-7).
+
+    Input: the most recent ``history`` steps of each sensor,
+    ``(..., N, H, F)``; the window is flattened and passed through a
+    3-layer fully connected network (32 hidden units, ReLU — the paper's
+    setting) with two output heads for μ_t and log Σ_t.
+    """
+
+    def __init__(
+        self,
+        history: int,
+        in_features: int,
+        latent_dim: int,
+        hidden: int = 32,
+        deterministic: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.history = history
+        self.in_features = in_features
+        self.latent_dim = latent_dim
+        self.deterministic = deterministic
+        self.backbone = MLP([history * in_features, hidden, hidden], activation="relu", rng=rng)
+        self.mu_head = MLP([hidden, latent_dim], rng=rng)
+        self.log_var_head = MLP([hidden, latent_dim], rng=rng)
+        self._rng = rng
+
+    def distribution(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Encode ``x (..., N, H, F)`` to ``(mu_t, log_var_t)`` ``(..., N, k)``."""
+        flat = ops.reshape(x, (*x.shape[:-2], x.shape[-2] * x.shape[-1]))
+        hidden = ops.relu(self.backbone(flat))
+        mu_t = self.mu_head(hidden)
+        # clip log-variance so early training cannot explode the sampler
+        log_var_t = ops.clip(self.log_var_head(hidden), -8.0, 4.0)
+        return mu_t, log_var_t
+
+    def sample(self, x: Tensor) -> Tensor:
+        """Draw z_t ``(..., N, k)`` (mean if deterministic or eval mode)."""
+        mu_t, log_var_t = self.distribution(x)
+        if self.deterministic or not self.training:
+            return mu_t
+        eps = Tensor(self._rng.standard_normal(mu_t.shape))
+        return mu_t + ops.exp(0.5 * log_var_t) * eps
+
+
+class STLatent(Module):
+    """Combined latent Θ_t = z + z_t with its KL regularizer (Eq. 4, 20).
+
+    ``mode`` selects what the ablations of the paper call:
+
+    * ``"st"`` — full spatio-temporal: Θ = z + z_t (ST-WA),
+    * ``"spatial"`` — Θ = z only (S-WA),
+    * ``"temporal"`` — Θ = z_t only (meta-style, temporal-aware only).
+
+    Because z and z_t are independent Gaussians, Θ is Gaussian with mean
+    μ + μ_t and variance Σ + Σ_t; the KL term against N(0, I) is analytic.
+    """
+
+    MODES = ("st", "spatial", "temporal")
+
+    def __init__(
+        self,
+        num_sensors: int,
+        history: int,
+        in_features: int,
+        latent_dim: int,
+        mode: str = "st",
+        deterministic: bool = False,
+        encoder_hidden: int = 32,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.mode = mode
+        self.latent_dim = latent_dim
+        self.deterministic = deterministic
+        if mode in ("st", "spatial"):
+            self.spatial = SpatialLatent(num_sensors, latent_dim, deterministic=deterministic, rng=rng)
+        else:
+            self.spatial = None
+        if mode in ("st", "temporal"):
+            self.temporal = TemporalLatentEncoder(
+                history, in_features, latent_dim, hidden=encoder_hidden, deterministic=deterministic, rng=rng
+            )
+        else:
+            self.temporal = None
+        self._rng = rng
+        self._last_kl: Optional[Tensor] = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Sample Θ for input ``x (..., N, H, F)``.
+
+        Returns ``(..., N, k)`` when temporal adaption is active (Θ varies
+        per sample) or ``(N, k)`` in pure-spatial mode.  Also computes and
+        stashes the KL regularizer for :meth:`kl_divergence`.
+        """
+        mu_parts = []
+        var_parts = []
+        theta = None
+        if self.spatial is not None:
+            mu_s, log_var_s = self.spatial.distribution()
+            mu_parts.append(mu_s)
+            var_parts.append(ops.exp(log_var_s))
+            theta = self.spatial.sample()
+        if self.temporal is not None:
+            mu_t, log_var_t = self.temporal.distribution(x)
+            mu_parts.append(mu_t)
+            var_parts.append(ops.exp(log_var_t))
+            z_t = self.temporal.sample(x)
+            theta = z_t if theta is None else theta + z_t
+
+        mu = mu_parts[0] if len(mu_parts) == 1 else mu_parts[0] + mu_parts[1]
+        var = var_parts[0] if len(var_parts) == 1 else var_parts[0] + var_parts[1]
+        if self.deterministic:
+            self._last_kl = None
+        else:
+            element = 0.5 * (var + mu * mu - 1.0 - ops.log(var))
+            self._last_kl = ops.mean(ops.sum(element, axis=-1))
+        return theta
+
+    def kl_divergence(self) -> Optional[Tensor]:
+        """KL[Θ || N(0, I)] of the latest forward pass (None if deterministic)."""
+        return self._last_kl

@@ -1,0 +1,46 @@
+"""Training objective (paper Section IV-E, Eq. 20-21).
+
+Huber loss on the forecasts plus an α-weighted KL divergence pulling the
+latent posterior towards the standard-normal prior.  The KL term is taken
+from the model's latest forward pass (it depends on the input batch through
+the temporal encoder).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..tensor import Tensor, functional
+
+
+class _HasKL(Protocol):
+    def kl_divergence(self) -> Optional[Tensor]: ...
+
+
+class STWALoss:
+    """Huber + α·KL objective.
+
+    Parameters
+    ----------
+    delta:
+        Huber threshold (Eq. 21).
+    kl_weight:
+        α in Eq. 20; 0 disables the regularizer (Table X's "without" run).
+    """
+
+    def __init__(self, delta: float = 1.0, kl_weight: float = 0.1):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        if kl_weight < 0:
+            raise ValueError("kl_weight must be non-negative")
+        self.delta = delta
+        self.kl_weight = kl_weight
+
+    def __call__(self, prediction: Tensor, target: Tensor, model: Optional[_HasKL] = None) -> Tensor:
+        """Compute the full objective for one batch."""
+        loss = functional.huber_loss(prediction, target, delta=self.delta)
+        if model is not None and self.kl_weight > 0:
+            kl = model.kl_divergence()
+            if kl is not None:
+                loss = loss + self.kl_weight * kl
+        return loss

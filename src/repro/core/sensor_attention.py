@@ -1,0 +1,61 @@
+"""Sensor-correlation attention (paper Section IV-C, Eq. 15-16).
+
+After proxy aggregation each window is summarized as ``(N, d)``; traffic at
+one sensor is influenced by nearby sensors, so an embedded-Gaussian
+attention mixes information across the sensor axis:
+
+    B(i, j) = softmax_j( θ1(h_i)ᵀ θ2(h_j) )          (Eq. 15)
+    h̄_i    = Σ_j B(i, j) ⊙ h_j                       (Eq. 16)
+
+The embedding functions θ1/θ2 may be static (shared across sensors) or
+generated per sensor by the ST-aware parameter generator — matching the
+paper's note that a single set of transformations may not describe all
+interactions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Linear, Module
+from ..tensor import Tensor, ops
+
+
+class SensorCorrelationAttention(Module):
+    """Embedded-Gaussian attention over the sensor axis.
+
+    Input ``(..., N, d)`` — typically ``(B, W, N, d)`` after window
+    attention; output has the same shape with a residual connection so the
+    module can fall back to per-sensor behaviour when correlations are weak.
+    """
+
+    def __init__(self, model_dim: int, residual: bool = True, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.model_dim = model_dim
+        self.residual = residual
+        self.theta1 = Linear(model_dim, model_dim, bias=False, rng=rng)
+        self.theta2 = Linear(model_dim, model_dim, bias=False, rng=rng)
+
+    def forward(self, h: Tensor, projections: Optional[Dict[str, Tensor]] = None) -> Tensor:
+        """Mix sensor representations.
+
+        ``projections`` may supply generated per-sensor embeddings
+        ``{"theta1": (..., N, d, d), "theta2": (..., N, d, d)}``; otherwise
+        the static linear embeddings are used.
+        """
+        if projections is None:
+            query = self.theta1(h)
+            key = self.theta2(h)
+        else:
+            # per-sensor embedding: h (..., N, d) x theta (..., N, d, d)
+            expanded = ops.reshape(h, (*h.shape, 1))
+            query = ops.sum(expanded * projections["theta1"], axis=-2)
+            key = ops.sum(expanded * projections["theta2"], axis=-2)
+        scale = 1.0 / np.sqrt(self.model_dim)
+        logits = ops.matmul(query, ops.swapaxes(key, -1, -2)) * scale  # (..., N, N)
+        scores = ops.softmax(logits, axis=-1)
+        mixed = ops.matmul(scores, h)
+        return h + mixed if self.residual else mixed

@@ -1,0 +1,201 @@
+"""Window Attention with learnable proxies (paper Section IV-B).
+
+The input series of length H is split into W = H / S windows.  Inside each
+window, a small constant number p of learnable *proxies* replaces the Query
+of canonical attention: every timestamp computes one score per proxy rather
+than per timestamp, reducing complexity from O(H²) to O(p·H) = O(H)
+(Eq. 10-11).  The p proxy outputs of a window are aggregated into a single
+vector by a learned gate (Eq. 12-13), and information flows across windows
+by fusing the previous window's output into the next window's proxies
+through ϑ (Eq. 14) — restoring the long receptive field the windowing
+removed.
+
+The Key/Value projections may be
+
+* static shared parameters (the *WA* ablation),
+* generated per sensor from z (the *S-WA* ablation), or
+* generated per sensor per sample from Θ_t (the full *ST-WA*),
+
+all through the same ``projections`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Linear, Module, Parameter, init
+from ..nn.attention import merge_heads, split_heads
+from ..tensor import Tensor, ops
+
+
+class ProxyAggregator(Module):
+    """Weighted proxy aggregation (Eq. 12-13).
+
+    A two-layer gate ``A = sigmoid(W2 tanh(W1 h))`` scores each proxy
+    elementwise; the window representation is the gated sum over proxies.
+    ``mode="mean"`` replaces the gate with a uniform average — the weaker
+    variant of Table XIV.
+    """
+
+    MODES = ("weighted", "mean")
+
+    def __init__(self, model_dim: int, mode: str = "weighted", rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.mode = mode
+        if mode == "weighted":
+            self.w1 = Linear(model_dim, model_dim, rng=rng)
+            self.w2 = Linear(model_dim, model_dim, rng=rng)
+
+    def forward(self, proxy_outputs: Tensor) -> Tensor:
+        """Aggregate ``(..., p, d)`` proxy outputs into ``(..., d)``."""
+        if self.mode == "mean":
+            return ops.mean(proxy_outputs, axis=-2)
+        weights = ops.sigmoid(self.w2(ops.tanh(self.w1(proxy_outputs))))
+        return ops.sum(weights * proxy_outputs, axis=-2)
+
+
+class WindowAttention(Module):
+    """One layer of proxy-based window attention (Eq. 10-14).
+
+    Parameters
+    ----------
+    num_sensors:
+        N — each sensor owns its own proxies (the proxy tensor P is
+        ``(W, N, p, d)``, as in the paper).
+    in_features:
+        Feature size of the incoming series (F for the first layer, d after).
+    model_dim:
+        d — proxy/output dimensionality.
+    num_windows / window_size:
+        W and S with ``W * S = input length``.
+    num_proxies:
+        p — a small constant (1-3 in the paper).
+    num_heads:
+        Multi-head split of the score computation (the paper uses 8 at full
+        scale; 1 is the default at reproduction scale).
+    cross_window_fusion:
+        Enables ϑ (Eq. 14).  Disabled for the single-layer WA-1 ablation
+        studies on receptive field.
+    """
+
+    def __init__(
+        self,
+        num_sensors: int,
+        in_features: int,
+        model_dim: int,
+        num_windows: int,
+        window_size: int,
+        num_proxies: int = 1,
+        num_heads: int = 1,
+        aggregator: str = "weighted",
+        cross_window_fusion: bool = True,
+        static_projections: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if model_dim % num_heads:
+            raise ValueError(f"model_dim {model_dim} not divisible by num_heads {num_heads}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_sensors = num_sensors
+        self.in_features = in_features
+        self.model_dim = model_dim
+        self.num_windows = num_windows
+        self.window_size = window_size
+        self.num_proxies = num_proxies
+        self.num_heads = num_heads
+        self.cross_window_fusion = cross_window_fusion
+        # P ∈ R^{W x N x p x d}: per-window, per-sensor learnable proxies
+        self.proxies = Parameter(init.xavier_uniform((num_windows, num_sensors, num_proxies, model_dim), rng))
+        self.aggregator = ProxyAggregator(model_dim, mode=aggregator, rng=rng)
+        # ϑ (Eq. 14) only exists when there is a previous window to fuse from
+        use_fusion = cross_window_fusion and num_windows > 1
+        self.fusion = Linear(2 * model_dim, model_dim, rng=rng) if use_fusion else None
+        # static projections back the spatio-temporal *agnostic* configuration
+        # (plain WA); layers that always receive generated projections skip
+        # them so parameter counts stay honest (Table VIII).
+        if static_projections:
+            self.static_key = Parameter(init.xavier_uniform((in_features, model_dim), rng))
+            self.static_value = Parameter(init.xavier_uniform((in_features, model_dim), rng))
+        else:
+            self.static_key = None
+            self.static_value = None
+
+    @property
+    def input_length(self) -> int:
+        return self.num_windows * self.window_size
+
+    def forward(self, x: Tensor, projections: Optional[Dict[str, Tensor]] = None) -> Tensor:
+        """Apply window attention.
+
+        Parameters
+        ----------
+        x:
+            ``(B, N, T, in_features)`` with ``T = W * S``.
+        projections:
+            Optional ``{"K": ..., "V": ...}`` generated projections with
+            shape ``(in, d)``, ``(N, in, d)`` or ``(B, N, in, d)``; when
+            omitted the layer's static (agnostic) projections are used.
+
+        Returns
+        -------
+        ``(B, N, W, d)`` — one aggregated representation per window.
+        """
+        batch, sensors, length, features = x.shape
+        if length != self.input_length:
+            raise ValueError(
+                f"input length {length} != num_windows*window_size = {self.input_length}"
+            )
+        if sensors != self.num_sensors:
+            raise ValueError(f"expected {self.num_sensors} sensors, got {sensors}")
+        if features != self.in_features:
+            raise ValueError(f"expected {self.in_features} input features, got {features}")
+        if projections is not None:
+            key_proj, value_proj = projections["K"], projections["V"]
+        else:
+            if self.static_key is None:
+                raise RuntimeError(
+                    "layer was built without static projections; pass generated ones"
+                )
+            key_proj, value_proj = self.static_key, self.static_value
+
+        scale = 1.0 / np.sqrt(self.model_dim // self.num_heads)
+        outputs = []
+        previous: Optional[Tensor] = None
+        for w in range(self.num_windows):
+            window = x[:, :, w * self.window_size : (w + 1) * self.window_size, :]
+            keys = ops.matmul(window, key_proj)  # (B, N, S, d)
+            values = ops.matmul(window, value_proj)
+            proxies = self.proxies[w]  # (N, p, d)
+            if self.fusion is not None and previous is not None:
+                # ϑ(ĥ_{w-1} || P_w,j): broadcast the previous window output
+                # over the p proxies and fuse through a linear layer (Eq. 14)
+                prev = ops.reshape(previous, (batch, sensors, 1, self.model_dim))
+                prev = ops.broadcast_to(prev, (batch, sensors, self.num_proxies, self.model_dim))
+                base = ops.broadcast_to(
+                    ops.reshape(proxies, (1, sensors, self.num_proxies, self.model_dim)),
+                    (batch, sensors, self.num_proxies, self.model_dim),
+                )
+                proxies = self.fusion(ops.concat([prev, base], axis=-1))
+            proxy_outputs = self._attend(proxies, keys, values, scale)
+            aggregated = self.aggregator(proxy_outputs)  # (B, N, d)
+            outputs.append(aggregated)
+            previous = aggregated
+        return ops.stack(outputs, axis=2)  # (B, N, W, d)
+
+    def _attend(self, proxies: Tensor, keys: Tensor, values: Tensor, scale: float) -> Tensor:
+        """Proxy attention within one window (Eq. 10), with head splitting."""
+        if self.num_heads == 1:
+            logits = ops.matmul(proxies, ops.swapaxes(keys, -1, -2)) * scale  # (B, N, p, S)
+            scores = ops.softmax(logits, axis=-1)
+            return ops.matmul(scores, values)  # (B, N, p, d)
+        proxies_h = split_heads(proxies, self.num_heads)  # (N, h, p, dh) or (B, N, h, p, dh)
+        keys_h = split_heads(keys, self.num_heads)  # (B, N, h, S, dh)
+        values_h = split_heads(values, self.num_heads)
+        logits = ops.matmul(proxies_h, ops.swapaxes(keys_h, -1, -2)) * scale
+        scores = ops.softmax(logits, axis=-1)
+        return merge_heads(ops.matmul(scores, values_h))

@@ -1,0 +1,49 @@
+"""Traffic data substrate: simulator, datasets, windows, scalers."""
+
+from .datasets import (
+    DatasetSpec,
+    TrafficDataset,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+    sensors_for_profile,
+)
+from .graph_gen import RoadNetwork, SensorMeta, generate_road_network
+from .io import export_sensor_csv, load_saved_dataset, save_dataset
+from .scalers import MinMaxScaler, StandardScaler
+from .synthetic import (
+    STEPS_PER_DAY,
+    STEPS_PER_HOUR,
+    STEPS_PER_WEEK,
+    SyntheticTrafficConfig,
+    TrafficSimulator,
+    generate_traffic,
+)
+from .windows import BatchIterator, SlidingWindowDataset, WindowSpec, chronological_split
+
+__all__ = [
+    "DatasetSpec",
+    "TrafficDataset",
+    "available_datasets",
+    "dataset_spec",
+    "load_dataset",
+    "sensors_for_profile",
+    "RoadNetwork",
+    "SensorMeta",
+    "generate_road_network",
+    "save_dataset",
+    "load_saved_dataset",
+    "export_sensor_csv",
+    "StandardScaler",
+    "MinMaxScaler",
+    "SyntheticTrafficConfig",
+    "TrafficSimulator",
+    "generate_traffic",
+    "STEPS_PER_DAY",
+    "STEPS_PER_HOUR",
+    "STEPS_PER_WEEK",
+    "WindowSpec",
+    "SlidingWindowDataset",
+    "BatchIterator",
+    "chronological_split",
+]

@@ -1,0 +1,117 @@
+"""Dataset persistence: save/load simulated datasets, CSV export.
+
+A release-quality dataset pipeline needs reproducible artifacts: these
+helpers freeze a simulated :class:`TrafficDataset` to a single ``.npz``
+(including the adjacency and scaler statistics) and export per-sensor CSVs
+for inspection in external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .datasets import TrafficDataset
+from .graph_gen import RoadNetwork, SensorMeta
+from .scalers import StandardScaler
+
+import networkx as nx
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(dataset: TrafficDataset, path: PathLike) -> Path:
+    """Freeze a dataset bundle (splits, scaler, graph, metadata) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sensor_meta = [
+        {
+            "sensor_id": s.sensor_id,
+            "corridor": s.corridor,
+            "direction": s.direction,
+            "position": s.position,
+            "coordinates": list(s.coordinates),
+        }
+        for s in dataset.network.sensors
+    ]
+    header = json.dumps(
+        {
+            "name": dataset.name,
+            "profile": dataset.profile,
+            "scaler_mean": dataset.scaler.mean,
+            "scaler_std": dataset.scaler.std,
+            "sensors": sensor_meta,
+        }
+    )
+    np.savez_compressed(
+        path,
+        train_raw=dataset.train_raw,
+        val_raw=dataset.val_raw,
+        test_raw=dataset.test_raw,
+        adjacency=dataset.network.adjacency,
+        header=np.frombuffer(header.encode("utf-8"), dtype=np.uint8),
+    )
+    return path
+
+
+def load_saved_dataset(path: PathLike) -> TrafficDataset:
+    """Load a dataset frozen by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        header = json.loads(archive["header"].tobytes().decode("utf-8"))
+        train_raw = archive["train_raw"]
+        val_raw = archive["val_raw"]
+        test_raw = archive["test_raw"]
+        adjacency = archive["adjacency"]
+
+    sensors = [
+        SensorMeta(
+            sensor_id=s["sensor_id"],
+            corridor=s["corridor"],
+            direction=s["direction"],
+            position=s["position"],
+            coordinates=tuple(s["coordinates"]),
+        )
+        for s in header["sensors"]
+    ]
+    graph = nx.DiGraph()
+    for sensor in sensors:
+        graph.add_node(sensor.sensor_id, **sensor.__dict__)
+    rows, cols = np.nonzero(adjacency)
+    for row, col in zip(rows, cols):
+        graph.add_edge(int(row), int(col), weight=float(adjacency[row, col]))
+    network = RoadNetwork(sensors=sensors, graph=graph, adjacency=adjacency)
+
+    scaler = StandardScaler()
+    scaler.mean = header["scaler_mean"]
+    scaler.std = header["scaler_std"]
+    return TrafficDataset(
+        name=header["name"],
+        profile=header["profile"],
+        train=scaler.transform(train_raw),
+        val=scaler.transform(val_raw),
+        test=scaler.transform(test_raw),
+        train_raw=train_raw,
+        val_raw=val_raw,
+        test_raw=test_raw,
+        scaler=scaler,
+        network=network,
+    )
+
+
+def export_sensor_csv(dataset: TrafficDataset, sensor_id: int, path: PathLike, split: str = "train") -> Path:
+    """Write one sensor's raw series (timestamp index, flow) to CSV."""
+    raw = {"train": dataset.train_raw, "val": dataset.val_raw, "test": dataset.test_raw}
+    if split not in raw:
+        raise KeyError(f"split must be one of {sorted(raw)}")
+    series = raw[split][sensor_id, :, 0]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["step", "flow"])
+        writer.writerows(enumerate(series.tolist()))
+    return path

@@ -1,0 +1,70 @@
+"""Feature scaling fit on the training split only (no leakage)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class StandardScaler:
+    """Z-score normalization ``(x - mean) / std``.
+
+    Fit over all sensors and timestamps of the training portion, matching
+    standard practice in the traffic-forecasting literature (DCRNN, GWN).
+    """
+
+    def __init__(self):
+        self.mean: Optional[float] = None
+        self.std: Optional[float] = None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        """Compute statistics from ``data`` (any shape)."""
+        self.mean = float(np.mean(data))
+        std = float(np.std(data))
+        self.std = std if std > 0 else 1.0
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (data - self.mean) / self.std
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return data * self.std + self.mean
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def _check_fitted(self) -> None:
+        if self.mean is None:
+            raise RuntimeError("StandardScaler used before fit()")
+
+
+class MinMaxScaler:
+    """Scale to ``[0, 1]`` using training-split extrema."""
+
+    def __init__(self):
+        self.low: Optional[float] = None
+        self.high: Optional[float] = None
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        self.low = float(np.min(data))
+        high = float(np.max(data))
+        self.high = high if high > self.low else self.low + 1.0
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (data - self.low) / (self.high - self.low)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return data * (self.high - self.low) + self.low
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def _check_fitted(self) -> None:
+        if self.low is None:
+            raise RuntimeError("MinMaxScaler used before fit()")

@@ -1,0 +1,121 @@
+"""Sliding-window sampling: turn ``(N, T, F)`` series into forecast samples.
+
+A sample at anchor ``t`` pairs the history ``x[:, t-H+1 : t+1]`` with the
+target ``x[:, t+1 : t+U+1]`` — exactly the problem definition in paper
+Eq. 1.  Windows are indexed lazily (anchors only) and materialized per batch
+to keep memory proportional to the batch, not the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """History length H and horizon U of the forecasting task."""
+
+    history: int
+    horizon: int
+
+    def __post_init__(self):
+        if self.history < 1 or self.horizon < 1:
+            raise ValueError("history and horizon must be >= 1")
+
+
+class SlidingWindowDataset:
+    """Lazy sliding-window view over a ``(N, T, F)`` array.
+
+    ``data`` should already be scaled; ``raw`` (optional) carries the
+    unscaled values used as evaluation targets so metrics are computed in
+    original units.
+    """
+
+    def __init__(self, data: np.ndarray, spec: WindowSpec, raw: Optional[np.ndarray] = None):
+        if data.ndim != 3:
+            raise ValueError(f"expected (N, T, F) array, got shape {data.shape}")
+        total = data.shape[1]
+        if total < spec.history + spec.horizon:
+            raise ValueError(
+                f"series length {total} too short for H={spec.history}, U={spec.horizon}"
+            )
+        self.data = data
+        self.raw = raw if raw is not None else data
+        if self.raw.shape != data.shape:
+            raise ValueError("raw must have the same shape as data")
+        self.spec = spec
+        # anchors index the *last* history step; valid range per Eq. 1
+        self.anchors = np.arange(spec.history - 1, total - spec.horizon)
+
+    def __len__(self) -> int:
+        return len(self.anchors)
+
+    def sample(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialize scaled inputs and *raw* targets for ``indices``.
+
+        Returns ``x (B, N, H, F)`` and ``y (B, N, U, F)``.
+        """
+        spec = self.spec
+        anchors = self.anchors[indices]
+        x = np.stack([self.data[:, a - spec.history + 1 : a + 1] for a in anchors])
+        y = np.stack([self.raw[:, a + 1 : a + 1 + spec.horizon] for a in anchors])
+        return x, y
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        x, y = self.sample(np.array([index]))
+        return x[0], y[0]
+
+
+def chronological_split(
+    data: np.ndarray,
+    train_fraction: float = 0.6,
+    val_fraction: float = 0.2,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(N, T, F)`` along time into train/val/test (paper: 60/20/20)."""
+    if not 0 < train_fraction < 1 or not 0 < val_fraction < 1:
+        raise ValueError("fractions must be in (0, 1)")
+    if train_fraction + val_fraction >= 1:
+        raise ValueError("train + val fractions must leave room for test")
+    total = data.shape[1]
+    train_end = int(total * train_fraction)
+    val_end = int(total * (train_fraction + val_fraction))
+    return data[:, :train_end], data[:, train_end:val_end], data[:, val_end:]
+
+
+class BatchIterator:
+    """Iterate over batches of a :class:`SlidingWindowDataset`."""
+
+    def __init__(
+        self,
+        dataset: SlidingWindowDataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        max_batches: Optional[int] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.max_batches = max_batches
+
+    def __len__(self) -> int:
+        full = (len(self.dataset) + self.batch_size - 1) // self.batch_size
+        return min(full, self.max_batches) if self.max_batches else full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        emitted = 0
+        for start in range(0, len(order), self.batch_size):
+            if self.max_batches is not None and emitted >= self.max_batches:
+                return
+            indices = order[start : start + self.batch_size]
+            yield self.dataset.sample(indices)
+            emitted += 1

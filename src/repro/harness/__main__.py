@@ -1,0 +1,54 @@
+"""CLI: regenerate any (or every) paper table/figure.
+
+Usage::
+
+    python -m repro.harness table4 table8 --scope quick
+    python -m repro.harness all --scope smoke --out results/
+
+Results are printed and saved as text files under ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from . import EXPERIMENTS, RunSettings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Reproduce the paper's tables and figures.")
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument("--scope", default="smoke", choices=["smoke", "quick", "standard"])
+    parser.add_argument("--out", default="results", help="directory for saved table text files")
+    args = parser.parse_args(argv)
+
+    requested = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    settings = {
+        "smoke": RunSettings.smoke,
+        "quick": RunSettings.quick,
+        "standard": RunSettings.standard,
+    }[args.scope]()
+    out_dir = Path(args.out)
+    for experiment_id in requested:
+        start = time.perf_counter()
+        result = EXPERIMENTS[experiment_id](settings=settings)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[{experiment_id} done in {elapsed:.1f}s]\n", flush=True)
+        result.save(out_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Complexity micro-benchmark: window attention O(H) vs canonical O(H^2).
+
+Not a numbered figure, but the paper's central efficiency claim (Section
+IV-B): per-layer attention cost is O(H^2) for canonical self-attention and
+O(p * H) = O(H) for window attention.  We measure forward+backward wall time
+of the two layers over growing H and report the empirical scaling exponents
+(log-log slope): canonical should approach ~2, window attention ~1.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import WindowAttention
+from ..nn import MultiHeadSelfAttention
+from ..tensor import Tensor
+from .reporting import TableResult, fmt
+from .runner import RunSettings
+
+DEFAULT_LENGTHS = (24, 48, 96, 192)
+
+
+def _time_call(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(
+    settings: Optional[RunSettings] = None,
+    lengths: Sequence[int] = DEFAULT_LENGTHS,
+    num_sensors: int = 8,
+    batch: int = 4,
+    model_dim: int = 16,
+) -> TableResult:
+    """Measure per-layer forward+backward time at each input length H."""
+    settings = settings or RunSettings.from_env()
+    rng = np.random.default_rng(0)
+    canonical_times = []
+    window_times = []
+    for length in lengths:
+        x = Tensor(rng.standard_normal((batch, num_sensors, length, 1)), requires_grad=True)
+        canonical = MultiHeadSelfAttention(1, model_dim, num_heads=1, rng=np.random.default_rng(1))
+
+        def run_canonical():
+            out = canonical(x)
+            out.sum().backward()
+
+        canonical_times.append(_time_call(run_canonical))
+
+        window = WindowAttention(
+            num_sensors, 1, model_dim, num_windows=length // 4, window_size=4,
+            num_proxies=2, rng=np.random.default_rng(1),
+        )
+
+        def run_window():
+            out = window(x)
+            out.sum().backward()
+
+        window_times.append(_time_call(run_window))
+
+    log_h = np.log(np.asarray(lengths, dtype=float))
+    canonical_slope = float(np.polyfit(log_h, np.log(canonical_times), 1)[0])
+    window_slope = float(np.polyfit(log_h, np.log(window_times), 1)[0])
+    headers = ["H", "canonical (s)", "window (s)", "speedup"]
+    rows = [
+        [str(h), fmt(c, 4), fmt(w, 4), fmt(c / w, 1)]
+        for h, c, w in zip(lengths, canonical_times, window_times)
+    ]
+    rows.append(["log-log slope", fmt(canonical_slope, 2), fmt(window_slope, 2), ""])
+    return TableResult(
+        experiment_id="attention_scaling",
+        title="Window attention O(H) vs canonical attention O(H^2)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"Empirical scaling exponents: canonical ~{canonical_slope:.2f} (paper: 2), "
+            f"window ~{window_slope:.2f} (paper: 1).",
+        ],
+        extras={"canonical_slope": canonical_slope, "window_slope": window_slope},
+    )

@@ -1,0 +1,56 @@
+"""Figure 10: training runtime (s/epoch) vs history length H (PEMS04).
+
+The paper measures s/epoch at H in {12, 36, 120}: every baseline grows
+steeply (quadratic attention / long unrolled recurrences) while ST-WA grows
+slowly thanks to the linear window attention.  We measure real wall time of
+our implementations on identical batch workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis import ascii_line
+from .reporting import TableResult, fmt
+from .runner import RunSettings, get_dataset, train_and_score
+
+FIGURE10_MODELS = ("STFGNN", "EnhanceNet", "AGCRN", "ST-WA")
+FIGURE10_HISTORIES = (12, 36, 120)
+
+
+def run(
+    settings: Optional[RunSettings] = None,
+    dataset_name: str = "PEMS04",
+    models: Sequence[str] = FIGURE10_MODELS,
+    histories: Sequence[int] = FIGURE10_HISTORIES,
+    horizon: int = 12,
+) -> TableResult:
+    """Measure s/epoch for each model at each H (few epochs suffice)."""
+    settings = settings or RunSettings.from_env()
+    # runtime measurement needs few epochs regardless of scope
+    timing_settings = settings.with_overrides(epochs=min(settings.epochs, 3), patience=99)
+    dataset = get_dataset(dataset_name, settings.profile)
+    seconds = {model: [] for model in models}
+    for history in histories:
+        for model in models:
+            result = train_and_score(model, dataset, history, horizon, timing_settings)
+            seconds[model].append(result["seconds_per_epoch"])
+    headers = ["Model", *[f"H={h}" for h in histories], "growth x (H12->H120)"]
+    rows = []
+    for model in models:
+        base = seconds[model][0] or 1e-9
+        rows.append(
+            [model, *[fmt(s, 3) for s in seconds[model]], fmt(seconds[model][-1] / base, 1)]
+        )
+    chart = ascii_line({m: seconds[m] for m in models}, x_values=list(histories), width=48, height=12)
+    return TableResult(
+        experiment_id="figure10",
+        title=f"Training runtime vs H, {dataset_name} (scope={settings.scope})",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "Paper: baselines grow steeply with H; ST-WA grows roughly linearly.",
+            "s/epoch vs H:\n" + chart,
+        ],
+        extras={"seconds": seconds, "histories": list(histories)},
+    )

@@ -1,0 +1,62 @@
+"""Result containers and table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class TableResult:
+    """One reproduced table/figure: id, headers, rows, free-form notes."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+    notes: List[str] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render as an aligned monospace table."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(str(cell)))
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def save(self, directory: PathLike) -> Path:
+        """Write the text rendering to ``<directory>/<experiment_id>.txt``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment_id}.txt"
+        path.write_text(self.to_text() + "\n")
+        return path
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    """Format a metric value, passing through non-numeric markers."""
+    if isinstance(value, str):
+        return value
+    return f"{value:.{digits}f}"

@@ -1,0 +1,133 @@
+"""Shared experiment executor: build -> train -> score one model.
+
+Scopes trade fidelity for wall time (all on the simulated datasets):
+
+* ``smoke``    — a few epochs; CI/benchmark default.  Validates the full
+  pipeline and preserves gross ordering, not fine ordering.
+* ``quick``    — minutes per model; resolves most of the paper's orderings.
+* ``standard`` — the most faithful setting feasible on CPU.
+
+Select via the ``REPRO_SCOPE`` environment variable or pass
+:class:`RunSettings` explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from ..baselines import build_model
+from ..data import TrafficDataset, WindowSpec, load_dataset
+from ..training import Trainer, TrainerConfig
+
+#: models that are fit analytically (or not at all) rather than by SGD
+NON_TRAINED = {"persistence", "windowmean", "var"}
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Wall-time scoped training settings for harness runs."""
+
+    scope: str = "smoke"
+    profile: str = "fast"
+    epochs: int = 2
+    max_batches: int = 5
+    eval_batches: Optional[int] = 4
+    batch_size: int = 32
+    lr: float = 8e-3
+    patience: int = 50
+    seed: int = 0
+
+    @classmethod
+    def smoke(cls) -> "RunSettings":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "RunSettings":
+        return cls(scope="quick", epochs=25, max_batches=20, eval_batches=8, lr=6e-3, patience=25)
+
+    @classmethod
+    def standard(cls) -> "RunSettings":
+        return cls(scope="standard", epochs=40, max_batches=30, eval_batches=None, lr=6e-3, patience=10)
+
+    @classmethod
+    def from_env(cls, default: str = "smoke") -> "RunSettings":
+        """Pick a scope from ``REPRO_SCOPE`` (smoke | quick | standard)."""
+        scope = os.environ.get("REPRO_SCOPE", default).lower()
+        factories = {"smoke": cls.smoke, "quick": cls.quick, "standard": cls.standard}
+        if scope not in factories:
+            raise KeyError(f"REPRO_SCOPE must be one of {sorted(factories)}, got {scope!r}")
+        return factories[scope]()
+
+    def with_overrides(self, **kwargs) -> "RunSettings":
+        return replace(self, **kwargs)
+
+
+_DATASET_CACHE: Dict[tuple, TrafficDataset] = {}
+
+
+def get_dataset(name: str, profile: str) -> TrafficDataset:
+    """Load (and cache) a simulated dataset — the harness reuses them heavily."""
+    key = (name.upper(), profile)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = load_dataset(name, profile=profile)
+    return _DATASET_CACHE[key]
+
+
+def train_and_score(
+    model_name: str,
+    dataset: TrafficDataset,
+    history: int,
+    horizon: int,
+    settings: RunSettings,
+) -> Dict[str, float]:
+    """Train ``model_name`` on ``dataset`` and return test metrics + costs.
+
+    Returns keys: ``mae``, ``rmse``, ``mape``, ``seconds_per_epoch``,
+    ``train_seconds``, ``parameters``, ``epochs_run``.
+    """
+    model = build_model(model_name, dataset, history, horizon, seed=settings.seed)
+    return train_and_score_model(model, dataset, history, horizon, settings, name=model_name)
+
+
+def train_and_score_model(
+    model,
+    dataset: TrafficDataset,
+    history: int,
+    horizon: int,
+    settings: RunSettings,
+    name: str = "",
+) -> Dict[str, float]:
+    """Like :func:`train_and_score` for an already-instantiated model.
+
+    Used by the ablation tables, which sweep :class:`repro.core.STWAConfig`
+    fields the registry does not expose.
+    """
+    spec = WindowSpec(history, horizon)
+    config = TrainerConfig(
+        lr=settings.lr,
+        epochs=settings.epochs,
+        batch_size=settings.batch_size,
+        patience=settings.patience,
+        max_batches_per_epoch=settings.max_batches,
+        eval_batches=settings.eval_batches,
+        seed=settings.seed,
+    )
+    trainer = Trainer(model, dataset, spec, config)
+    start = time.perf_counter()
+    if name.lower() in NON_TRAINED or not model.parameters():
+        seconds_per_epoch = 0.0
+        epochs_run = 0
+    else:
+        history_record = trainer.fit()
+        seconds_per_epoch = history_record.seconds_per_epoch
+        epochs_run = history_record.epochs_run
+    train_seconds = time.perf_counter() - start
+    metrics = trainer.evaluate("test", max_batches=settings.eval_batches)
+    metrics["seconds_per_epoch"] = seconds_per_epoch
+    metrics["train_seconds"] = train_seconds
+    metrics["parameters"] = float(model.num_parameters())
+    metrics["epochs_run"] = float(epochs_run)
+    return metrics

@@ -1,0 +1,91 @@
+"""Assemble EXPERIMENTS.md "measured" sections from saved result files.
+
+Each harness runner saves ``<results_dir>/<experiment_id>.txt``.
+:func:`splice_results` replaces the ``<!-- <ID>_MEASURED -->`` markers in
+EXPERIMENTS.md with fenced copies of those files, so the record of
+paper-vs-measured stays mechanically in sync with the latest run:
+
+    python -m repro.harness.summary results_quick EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Union
+
+PathLike = Union[str, Path]
+
+_MARKER = re.compile(r"<!--\s*(?P<name>[A-Z0-9_]+)_MEASURED\s*-->")
+
+#: marker name -> result file stem
+_MARKER_TO_FILE = {
+    "TABLE4": "table4",
+    "TABLE5": "table5",
+    "TABLE6": "table6",
+    "TABLE7": "table7",
+    "TABLE8": "table8",
+    "TABLE9": "table9",
+    "TABLE10": "table10",
+    "TABLE11": "table11",
+    "TABLE12": "table12",
+    "TABLE13": "table13",
+    "TABLE14": "table14",
+    "FIGURE9": "figure9",
+    "FIGURE10": "figure10",
+    "SCALING": "attention_scaling",
+}
+
+
+def collect_results(results_dir: PathLike) -> Dict[str, str]:
+    """Read every ``<experiment>.txt`` in ``results_dir``; stem -> content."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    return {path.stem: path.read_text().rstrip() for path in sorted(results_dir.glob("*.txt"))}
+
+
+def splice_results(experiments_md: PathLike, results_dir: PathLike) -> int:
+    """Replace measured-result markers in ``experiments_md``; returns count.
+
+    Markers whose result file is missing are left in place (so a partial
+    run fills what it can).  Re-running replaces previously spliced blocks:
+    a spliced block is bracketed by the marker and an ``<!-- /NAME -->``
+    end marker.
+    """
+    path = Path(experiments_md)
+    text = path.read_text()
+    results = collect_results(results_dir)
+    spliced = 0
+
+    for name, stem in _MARKER_TO_FILE.items():
+        if stem not in results:
+            continue
+        block = f"<!-- {name}_MEASURED -->\n```text\n{results[stem]}\n```\n<!-- /{name}_MEASURED -->"
+        # replace an existing spliced block, else the bare marker
+        existing = re.compile(
+            rf"<!-- {name}_MEASURED -->.*?<!-- /{name}_MEASURED -->", re.DOTALL
+        )
+        if existing.search(text):
+            text = existing.sub(block, text)
+            spliced += 1
+        elif f"<!-- {name}_MEASURED -->" in text:
+            text = text.replace(f"<!-- {name}_MEASURED -->", block)
+            spliced += 1
+    path.write_text(text)
+    return spliced
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 2:
+        print("usage: python -m repro.harness.summary <results_dir> <EXPERIMENTS.md>", file=sys.stderr)
+        return 2
+    count = splice_results(argv[1], argv[0])
+    print(f"spliced {count} measured sections from {argv[0]} into {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

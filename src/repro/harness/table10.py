@@ -1,0 +1,67 @@
+"""Table X: effect of the KL regularization term (PEMS04).
+
+The paper trains ST-WA with and without the KL term of Eq. 20; removing it
+costs a clear amount of accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import make_st_wa
+from .reporting import TableResult, fmt
+from .runner import RunSettings, get_dataset, train_and_score_model
+
+
+def run(
+    settings: Optional[RunSettings] = None,
+    dataset_name: str = "PEMS04",
+    history: int = 12,
+    horizon: int = 12,
+) -> TableResult:
+    """ST-WA with the regularizer vs. with kl_weight forced to zero."""
+    settings = settings or RunSettings.from_env()
+    dataset = get_dataset(dataset_name, settings.profile)
+    results = {}
+    for label, kl_weight in (("With", 0.1), ("Without", 0.0)):
+        model = make_st_wa(
+            dataset.num_sensors,
+            history=history,
+            horizon=horizon,
+            seed=settings.seed,
+            model_dim=24,
+            latent_dim=12,
+            skip_dim=48,
+            predictor_hidden=196,
+        )
+        run_settings = settings
+        # the trainer owns the loss; route the ablation through its kl weight
+        from ..data import WindowSpec
+        from ..training import Trainer, TrainerConfig
+
+        config = TrainerConfig(
+            lr=settings.lr,
+            epochs=settings.epochs,
+            batch_size=settings.batch_size,
+            patience=settings.patience,
+            max_batches_per_epoch=settings.max_batches,
+            eval_batches=settings.eval_batches,
+            seed=settings.seed,
+            kl_weight=kl_weight,
+        )
+        trainer = Trainer(model, dataset, WindowSpec(history, horizon), config)
+        trainer.fit()
+        results[label] = trainer.evaluate("test", max_batches=settings.eval_batches)
+    headers = ["Metric", "With", "Without"]
+    rows = [
+        [metric.upper(), fmt(results["With"][metric]), fmt(results["Without"][metric])]
+        for metric in ("mae", "mape", "rmse")
+    ]
+    return TableResult(
+        experiment_id="table10",
+        title=f"Effect of the regularization term, {dataset_name} (scope={settings.scope})",
+        headers=headers,
+        rows=rows,
+        notes=["Paper: removing the KL regularizer loses accuracy (19.06 -> 19.23 MAE)."],
+        extras={"with_mae": results["With"]["mae"], "without_mae": results["Without"]["mae"]},
+    )

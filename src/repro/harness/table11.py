@@ -1,0 +1,43 @@
+"""Table XI: stochastic vs deterministic latent variables (PEMS04).
+
+The deterministic variant replaces z and z_t with plain vectors (their
+means) and drops the KL term — the paper shows the stochastic version wins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .reporting import TableResult, fmt
+from .runner import RunSettings, get_dataset, train_and_score
+
+
+def run(
+    settings: Optional[RunSettings] = None,
+    dataset_name: str = "PEMS04",
+    history: int = 12,
+    horizon: int = 12,
+) -> TableResult:
+    """ST-WA vs its deterministic counterpart."""
+    settings = settings or RunSettings.from_env()
+    dataset = get_dataset(dataset_name, settings.profile)
+    stochastic = train_and_score("ST-WA", dataset, history, horizon, settings)
+    deterministic = train_and_score("ST-WA-det", dataset, history, horizon, settings)
+    headers = ["", "MAE", "MAPE", "RMSE"]
+    rows = [
+        ["ST-WA", fmt(stochastic["mae"]), fmt(stochastic["mape"]), fmt(stochastic["rmse"])],
+        [
+            "Deterministic ST-WA",
+            fmt(deterministic["mae"]),
+            fmt(deterministic["mape"]),
+            fmt(deterministic["rmse"]),
+        ],
+    ]
+    return TableResult(
+        experiment_id="table11",
+        title=f"Effect of stochastic latent variables, {dataset_name} (scope={settings.scope})",
+        headers=headers,
+        rows=rows,
+        notes=["Paper: stochastic beats deterministic (19.06 vs 19.32 MAE)."],
+        extras={"stochastic_mae": stochastic["mae"], "deterministic_mae": deterministic["mae"]},
+    )

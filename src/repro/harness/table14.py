@@ -1,0 +1,38 @@
+"""Table XIV: effect of the proxy aggregation function (PEMS04, H=U=72).
+
+Replacing the learned weighted aggregator (Eq. 12-13) with a uniform mean
+aggregator significantly hurts accuracy in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .reporting import TableResult, fmt
+from .runner import RunSettings, get_dataset, train_and_score
+
+
+def run(
+    settings: Optional[RunSettings] = None,
+    dataset_name: str = "PEMS04",
+    history: int = 72,
+    horizon: int = 72,
+) -> TableResult:
+    """Weighted (ours) vs mean proxy aggregation."""
+    settings = settings or RunSettings.from_env()
+    dataset = get_dataset(dataset_name, settings.profile)
+    ours = train_and_score("ST-WA", dataset, history, horizon, settings)
+    mean = train_and_score("ST-WA-mean", dataset, history, horizon, settings)
+    headers = ["", "MAE", "MAPE", "RMSE"]
+    rows = [
+        ["Mean Aggregator", fmt(mean["mae"]), fmt(mean["mape"]), fmt(mean["rmse"])],
+        ["Our Aggregator", fmt(ours["mae"]), fmt(ours["mape"]), fmt(ours["rmse"])],
+    ]
+    return TableResult(
+        experiment_id="table14",
+        title=f"Effect of aggregation functions, {dataset_name}, H=U={history} (scope={settings.scope})",
+        headers=headers,
+        rows=rows,
+        notes=["Paper: the learned weighted aggregator clearly beats the mean (23.54 vs 24.65 MAE)."],
+        extras={"ours_mae": ours["mae"], "mean_mae": mean["mae"]},
+    )

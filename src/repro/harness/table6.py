@@ -1,0 +1,74 @@
+"""Table VI: long-horizon forecasting, H = U = 72, with OOM behaviour.
+
+The paper compares the top-3 baselines and ST-WA at H=U=72 on all four
+datasets; STFGNN and EnhanceNet run **out of memory** on PEMS07 (N=883).
+Accuracy is measured on the simulated datasets; the OOM determination uses
+the analytic memory model of :mod:`repro.training.memory` evaluated at the
+*paper-scale* sensor counts against the V100's 16 GB budget (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..baselines import model_family
+from ..data.datasets import dataset_spec
+from ..training.memory import ModelDims, V100_BUDGET_GB, activation_gb
+from .reporting import TableResult, fmt
+from .runner import RunSettings, get_dataset, train_and_score
+
+TABLE6_MODELS = ("STFGNN", "EnhanceNet", "AGCRN", "ST-WA")
+TABLE6_DATASETS = ("PEMS03", "PEMS04", "PEMS07", "PEMS08")
+
+
+def paper_scale_memory_gb(model: str, dataset_name: str, history: int, batch: int = 64) -> float:
+    """Estimated training-step activation memory at the paper's N (GB)."""
+    dims = ModelDims(
+        batch=batch,
+        num_sensors=dataset_spec(dataset_name).paper_sensors,
+        history=history,
+        horizon=history,
+    )
+    return activation_gb(model_family(model), dims)
+
+
+def run(
+    settings: Optional[RunSettings] = None,
+    datasets: Sequence[str] = TABLE6_DATASETS,
+    models: Sequence[str] = TABLE6_MODELS,
+    history: int = 72,
+    horizon: int = 72,
+    budget_gb: float = V100_BUDGET_GB,
+) -> TableResult:
+    """H=U=72 accuracy with analytic OOM marking, as in the paper."""
+    settings = settings or RunSettings.from_env()
+    headers = ["Dataset", "Metric", *models]
+    rows = []
+    oom_pairs = []
+    for dataset_name in datasets:
+        dataset = get_dataset(dataset_name, settings.profile)
+        results = {}
+        for model in models:
+            memory_gb = paper_scale_memory_gb(model, dataset_name, history)
+            if memory_gb > budget_gb:
+                results[model] = None  # OOM at paper scale
+                oom_pairs.append(f"{model}@{dataset_name} ({memory_gb:.1f} GB)")
+            else:
+                results[model] = train_and_score(model, dataset, history, horizon, settings)
+        for metric in ("mae", "mape", "rmse"):
+            row = [dataset_name if metric == "mae" else "", metric.upper()]
+            for model in models:
+                row.append("OOM" if results[model] is None else fmt(results[model][metric]))
+            rows.append(row)
+    return TableResult(
+        experiment_id="table6",
+        title=f"Overall accuracy, H={history}, U={horizon} (scope={settings.scope})",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"OOM = analytic activation memory at paper-scale N exceeds {budget_gb:.0f} GB "
+            "(paper: STFGNN and EnhanceNet OOM on PEMS07).",
+            "OOM pairs this run: " + (", ".join(oom_pairs) if oom_pairs else "none"),
+        ],
+        extras={"oom_pairs": oom_pairs},
+    )

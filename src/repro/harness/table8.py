@@ -1,0 +1,67 @@
+"""Table VIII: ablation study on PEMS04 (SA / WA-1 / WA / S-WA / ST-WA).
+
+Accuracy plus training time per epoch, memory, and parameter counts.  The
+paper's findings to reproduce in shape:
+
+* WA-1 is ~3x faster and ~5x lighter than canonical self-attention (SA);
+* stacking (WA) improves accuracy over WA-1;
+* S-WA and ST-WA further improve accuracy, ST-WA the best, at moderate
+  extra cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..baselines import model_family
+from ..training.memory import ModelDims, activation_gb
+from .reporting import TableResult, fmt
+from .runner import RunSettings, get_dataset, train_and_score
+
+TABLE8_MODELS = ("SA", "WA-1", "WA", "S-WA", "ST-WA")
+
+
+def run(
+    settings: Optional[RunSettings] = None,
+    dataset_name: str = "PEMS04",
+    models: Sequence[str] = TABLE8_MODELS,
+    history: int = 12,
+    horizon: int = 12,
+) -> TableResult:
+    """Ablation grid with accuracy + cost rows, as in the paper."""
+    settings = settings or RunSettings.from_env()
+    dataset = get_dataset(dataset_name, settings.profile)
+    results = {model: train_and_score(model, dataset, history, horizon, settings) for model in models}
+
+    headers = ["", *models]
+    rows = []
+    for metric in ("mae", "mape", "rmse"):
+        rows.append([metric.upper(), *[fmt(results[m][metric]) for m in models]])
+    rows.append(
+        [
+            "Memory (GB, analytic)",
+            *[
+                fmt(
+                    activation_gb(
+                        model_family(m),
+                        ModelDims(num_sensors=dataset.num_sensors, history=history),
+                    ),
+                    4,
+                )
+                for m in models
+            ],
+        ]
+    )
+    rows.append(["Training (s/epoch)", *[fmt(results[m]["seconds_per_epoch"]) for m in models]])
+    rows.append(["# Para", *[str(int(results[m]["parameters"])) for m in models]])
+    return TableResult(
+        experiment_id="table8",
+        title=f"Ablation study on {dataset_name} (scope={settings.scope})",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "Paper shape: SA worst accuracy and heaviest; WA-1 < WA < S-WA <= ST-WA accuracy;",
+            "ST-WA best accuracy at moderate extra runtime.",
+        ],
+        extras={"results": {m: results[m]["mae"] for m in models}},
+    )

@@ -1,0 +1,61 @@
+"""Neural-network layer library built on :mod:`repro.tensor`.
+
+The ``torch.nn`` substitute: module system, affine/recurrent/convolutional/
+attention/graph layers, initializers, normalization, and dropout.
+"""
+
+from . import init
+from .activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from .attention import MultiHeadSelfAttention, SlidingWindowSelfAttention, merge_heads, split_heads
+from .conv import CausalConv1d, GatedTemporalConv
+from .dropout import Dropout
+from .graph import (
+    AdaptiveAdjacency,
+    ChebGraphConv,
+    DiffusionGraphConv,
+    GraphConv,
+    NodeAdaptiveGraphConv,
+    normalized_adjacency,
+    random_walk_matrix,
+    scaled_laplacian,
+)
+from .linear import MLP, Linear
+from .module import Module, ModuleList, Parameter, ParameterList, Sequential
+from .normalization import BatchNorm1d, LayerNorm
+from .recurrent import GRU, LSTM, GRUCell, LSTMCell
+
+__all__ = [
+    "init",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "ParameterList",
+    "Sequential",
+    "Linear",
+    "MLP",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+    "LayerNorm",
+    "BatchNorm1d",
+    "Dropout",
+    "MultiHeadSelfAttention",
+    "SlidingWindowSelfAttention",
+    "split_heads",
+    "merge_heads",
+    "GRUCell",
+    "GRU",
+    "LSTMCell",
+    "LSTM",
+    "CausalConv1d",
+    "GatedTemporalConv",
+    "GraphConv",
+    "ChebGraphConv",
+    "DiffusionGraphConv",
+    "AdaptiveAdjacency",
+    "NodeAdaptiveGraphConv",
+    "normalized_adjacency",
+    "random_walk_matrix",
+    "scaled_laplacian",
+]

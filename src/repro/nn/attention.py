@@ -1,0 +1,117 @@
+"""Attention layers: canonical multi-head self-attention and the
+Longformer-style sliding-window attention baseline.
+
+Canonical self-attention (paper Eq. 2-3) is O(H^2) in the input length H;
+sliding-window attention is O(H*S).  The paper's window attention (O(H)) is
+implemented in :mod:`repro.core.window_attention` because it is part of the
+contribution, not the substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from . import init
+from .module import Module, Parameter
+
+
+def split_heads(x: Tensor, num_heads: int) -> Tensor:
+    """Reshape ``(..., H, d)`` to ``(..., heads, H, d/heads)``."""
+    *lead, seq, dim = x.shape
+    head_dim = dim // num_heads
+    x = ops.reshape(x, (*lead, seq, num_heads, head_dim))
+    return ops.swapaxes(x, -2, -3)
+
+
+def merge_heads(x: Tensor) -> Tensor:
+    """Inverse of :func:`split_heads`."""
+    x = ops.swapaxes(x, -2, -3)
+    *lead, seq, heads, head_dim = x.shape
+    return ops.reshape(x, (*lead, seq, heads * head_dim))
+
+
+class MultiHeadSelfAttention(Module):
+    """Canonical multi-head self-attention (paper Eq. 2-3).
+
+    Projection matrices Q, K, V are *shared* across sensors and time — this
+    is exactly the spatio-temporal *agnostic* model the paper improves upon.
+    Input ``(..., H, in_features)``; output ``(..., H, model_dim)``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        model_dim: int,
+        num_heads: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if model_dim % num_heads:
+            raise ValueError(f"model_dim {model_dim} not divisible by num_heads {num_heads}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_heads = num_heads
+        self.model_dim = model_dim
+        self.q_proj = Parameter(init.xavier_uniform((in_features, model_dim), rng))
+        self.k_proj = Parameter(init.xavier_uniform((in_features, model_dim), rng))
+        self.v_proj = Parameter(init.xavier_uniform((in_features, model_dim), rng))
+        self.out_proj = Parameter(init.xavier_uniform((model_dim, model_dim), rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        query = split_heads(ops.matmul(x, self.q_proj), self.num_heads)
+        key = split_heads(ops.matmul(x, self.k_proj), self.num_heads)
+        value = split_heads(ops.matmul(x, self.v_proj), self.num_heads)
+        scale = 1.0 / np.sqrt(query.shape[-1])
+        scores = ops.softmax(ops.matmul(query, ops.swapaxes(key, -1, -2)) * scale, axis=-1)
+        context = merge_heads(ops.matmul(scores, value))
+        return ops.matmul(context, self.out_proj)
+
+
+class SlidingWindowSelfAttention(Module):
+    """Longformer-style sliding-window attention (related-work baseline).
+
+    Each timestamp attends to the ``window`` timestamps centred on it
+    (past and future neighbours), giving O(H * window) complexity.  The
+    restriction is implemented with an additive mask, which keeps the code
+    simple; the complexity benchmark accounts for the masked structure
+    analytically.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        model_dim: int,
+        window: int = 3,
+        num_heads: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.window = window
+        self.inner = MultiHeadSelfAttention(in_features, model_dim, num_heads=num_heads, rng=rng)
+        self._mask_cache: dict[int, np.ndarray] = {}
+
+    def _band_mask(self, seq_len: int) -> np.ndarray:
+        mask = self._mask_cache.get(seq_len)
+        if mask is None:
+            offsets = np.abs(np.arange(seq_len)[:, None] - np.arange(seq_len)[None, :])
+            mask = np.where(offsets <= self.window, 0.0, -1e9)
+            self._mask_cache[seq_len] = mask
+        return mask
+
+    def forward(self, x: Tensor) -> Tensor:
+        seq_len = x.shape[-2]
+        mask = self._band_mask(seq_len)
+        inner = self.inner
+        query = split_heads(ops.matmul(x, inner.q_proj), inner.num_heads)
+        key = split_heads(ops.matmul(x, inner.k_proj), inner.num_heads)
+        value = split_heads(ops.matmul(x, inner.v_proj), inner.num_heads)
+        scale = 1.0 / np.sqrt(query.shape[-1])
+        logits = ops.matmul(query, ops.swapaxes(key, -1, -2)) * scale + Tensor(mask)
+        scores = ops.softmax(logits, axis=-1)
+        context = merge_heads(ops.matmul(scores, value))
+        return ops.matmul(context, inner.out_proj)

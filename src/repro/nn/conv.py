@@ -1,0 +1,90 @@
+"""Temporal convolutions (TCN substrate for STGCN / Graph WaveNet / STFGNN).
+
+Convention: the time axis is second-to-last, features last, i.e. inputs are
+``(..., time, channels)``.  A causal dilated convolution computes
+
+    out[t] = sum_k  x[t - k * dilation] @ W_k + b
+
+with zero left-padding so output length equals input length.  Implemented as
+one matmul per kernel tap over shifted slices — efficient under the autodiff
+engine because taps are few while time/batch are vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from . import init
+from .module import Module, Parameter
+
+
+class CausalConv1d(Module):
+    """Causal dilated 1-D convolution along the time axis."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 2,
+        dilation: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if kernel_size < 1 or dilation < 1:
+            raise ValueError("kernel_size and dilation must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.weight = Parameter(init.xavier_uniform((kernel_size, in_channels, out_channels), rng))
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    @property
+    def receptive_field(self) -> int:
+        """Number of past timestamps (incl. current) influencing one output."""
+        return (self.kernel_size - 1) * self.dilation + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        time_steps = x.shape[-2]
+        left = (self.kernel_size - 1) * self.dilation
+        pad_width = [(0, 0)] * (x.ndim - 2) + [(left, 0), (0, 0)]
+        padded = ops.pad(x, pad_width)
+        out = None
+        # weight[k] multiplies x[t - (K-1-k)*dilation]: index 0 is the oldest
+        # tap, index K-1 the current timestamp (PyTorch Conv1d convention).
+        for k in range(self.kernel_size):
+            start = k * self.dilation
+            tap = padded[..., start : start + time_steps, :]
+            term = ops.matmul(tap, self.weight[k])
+            out = term if out is None else out + term
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class GatedTemporalConv(Module):
+    """Gated TCN block: ``tanh(conv_f(x)) * sigmoid(conv_g(x))``.
+
+    The gating unit used by Graph WaveNet and STGCN's temporal blocks.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 2,
+        dilation: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.filter_conv = CausalConv1d(in_channels, out_channels, kernel_size, dilation, rng=rng)
+        self.gate_conv = CausalConv1d(in_channels, out_channels, kernel_size, dilation, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(self.filter_conv(x)) * ops.sigmoid(self.gate_conv(x))

@@ -1,0 +1,199 @@
+"""Graph convolutions over the sensor axis (substrate for the GNN baselines).
+
+Convention: the node (sensor) axis is second-to-last, features last — inputs
+are ``(..., N, F)``.  A fixed adjacency is a plain ``numpy`` array; learned
+adjacencies (Graph WaveNet, AGCRN) are parameterized by node embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from . import init
+from .module import Module, Parameter, ParameterList
+
+
+def normalized_adjacency(adj: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
+    """Symmetric normalization ``D^-1/2 (A [+ I]) D^-1/2``."""
+    adj = np.asarray(adj, dtype=np.float64)
+    if add_self_loops:
+        adj = adj + np.eye(adj.shape[0])
+    degree = adj.sum(axis=1)
+    inv_sqrt = np.zeros_like(degree)
+    positive = degree > 0
+    inv_sqrt[positive] = 1.0 / np.sqrt(degree[positive])
+    return inv_sqrt[:, None] * adj * inv_sqrt[None, :]
+
+
+def random_walk_matrix(adj: np.ndarray) -> np.ndarray:
+    """Row-normalized transition matrix ``D^-1 A`` (diffusion convolution)."""
+    adj = np.asarray(adj, dtype=np.float64)
+    degree = adj.sum(axis=1)
+    inv = np.zeros_like(degree)
+    positive = degree > 0
+    inv[positive] = 1.0 / degree[positive]
+    return inv[:, None] * adj
+
+
+def scaled_laplacian(adj: np.ndarray) -> np.ndarray:
+    """Chebyshev-scaled Laplacian ``2 L / lambda_max - I`` (STGCN)."""
+    normalized = normalized_adjacency(adj, add_self_loops=False)
+    laplacian = np.eye(adj.shape[0]) - normalized
+    eigenvalues = np.linalg.eigvalsh(laplacian)
+    lambda_max = float(eigenvalues.max()) if eigenvalues.size else 2.0
+    if lambda_max <= 0:
+        lambda_max = 2.0
+    return 2.0 * laplacian / lambda_max - np.eye(adj.shape[0])
+
+
+class GraphConv(Module):
+    """First-order graph convolution ``Â X W`` with a fixed adjacency."""
+
+    def __init__(self, in_features: int, out_features: int, adj: np.ndarray, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.adj = Tensor(normalized_adjacency(adj))
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros(out_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mixed = ops.matmul(self.adj, x)
+        return ops.matmul(mixed, self.weight) + self.bias
+
+
+class ChebGraphConv(Module):
+    """Chebyshev-polynomial graph convolution of order ``K`` (STGCN)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        adj: np.ndarray,
+        order: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.order = order
+        self.laplacian = Tensor(scaled_laplacian(adj))
+        self.weights = ParameterList(
+            Parameter(init.xavier_uniform((in_features, out_features), rng)) for _ in range(order)
+        )
+        self.bias = Parameter(init.zeros(out_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        # T_0 = X, T_1 = L X, T_k = 2 L T_{k-1} - T_{k-2}
+        terms = [x]
+        if self.order > 1:
+            terms.append(ops.matmul(self.laplacian, x))
+        for _ in range(2, self.order):
+            terms.append(2.0 * ops.matmul(self.laplacian, terms[-1]) - terms[-2])
+        out = None
+        for term, weight in zip(terms, self.weights):
+            contribution = ops.matmul(term, weight)
+            out = contribution if out is None else out + contribution
+        return out + self.bias
+
+
+class DiffusionGraphConv(Module):
+    """Bidirectional diffusion convolution (DCRNN).
+
+    Aggregates ``K`` random-walk steps in both the forward and the reversed
+    transition direction, each with its own weight matrix.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        adj: np.ndarray,
+        steps: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.steps = steps
+        self.forward_walk = Tensor(random_walk_matrix(adj))
+        self.backward_walk = Tensor(random_walk_matrix(adj.T))
+        # weights: identity term + (forward + backward) * steps
+        count = 1 + 2 * steps
+        self.weights = ParameterList(
+            Parameter(init.xavier_uniform((in_features, out_features), rng)) for _ in range(count)
+        )
+        self.bias = Parameter(init.zeros(out_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weights[0])
+        index = 1
+        for walk in (self.forward_walk, self.backward_walk):
+            support = x
+            for _ in range(self.steps):
+                support = ops.matmul(walk, support)
+                out = out + ops.matmul(support, self.weights[index])
+                index += 1
+        return out + self.bias
+
+
+class AdaptiveAdjacency(Module):
+    """Learned adjacency ``softmax(relu(E1 E2^T))`` (Graph WaveNet / AGCRN).
+
+    Purely data-driven: no pre-defined road graph is required.
+    """
+
+    def __init__(self, num_nodes: int, embed_dim: int = 8, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.source = Parameter(rng.standard_normal((num_nodes, embed_dim)) * 0.1)
+        self.target = Parameter(rng.standard_normal((num_nodes, embed_dim)) * 0.1)
+
+    def forward(self) -> Tensor:
+        logits = ops.relu(ops.matmul(self.source, ops.swapaxes(self.target, -1, -2)))
+        return ops.softmax(logits, axis=-1)
+
+
+class NodeAdaptiveGraphConv(Module):
+    """AGCRN's node-adaptive parameter learning graph convolution.
+
+    Per-node weights are generated from a node embedding and a shared weight
+    pool, ``W_i = e_i @ pool`` — the 'pool of candidate weights' mechanism
+    the paper cites as the defining feature of AGCRN [18].
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        num_nodes: int,
+        embed_dim: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.node_embed = Parameter(rng.standard_normal((num_nodes, embed_dim)) * 0.1)
+        self.weight_pool = Parameter(init.xavier_uniform((embed_dim, in_features * out_features), rng))
+        self.bias_pool = Parameter(init.zeros((embed_dim, out_features)))
+        self.in_features = in_features
+        self.out_features = out_features
+        self.num_nodes = num_nodes
+
+    def forward(self, x: Tensor) -> Tensor:
+        # adaptive adjacency from the same embedding
+        logits = ops.relu(ops.matmul(self.node_embed, ops.swapaxes(self.node_embed, -1, -2)))
+        adj = ops.softmax(logits, axis=-1)
+        mixed = ops.matmul(adj, x)  # (..., N, F)
+        weights = ops.reshape(
+            ops.matmul(self.node_embed, self.weight_pool),
+            (self.num_nodes, self.in_features, self.out_features),
+        )
+        bias = ops.matmul(self.node_embed, self.bias_pool)  # (N, out)
+        # einsum '...nf,nfo->...no' via elementwise-mul + sum
+        expanded = ops.reshape(mixed, (*mixed.shape[:-1], self.in_features, 1))
+        per_node = ops.sum(expanded * weights, axis=-2)
+        return per_node + bias

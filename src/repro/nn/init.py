@@ -1,0 +1,52 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so every model
+in the reproduction is seedable end-to-end (a requirement for the paired
+ablation comparisons in Tables VIII-XIV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """He uniform for ReLU networks: U(-a, a) with a = sqrt(6 / fan_in)."""
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(shape, rng: np.random.Generator, low: float = -0.08, high: float = 0.08) -> np.ndarray:
+    """Plain uniform initialization."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape)
+
+
+def _fans(shape) -> tuple[int, int]:
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # conv-style (out, in, *kernel) or stacked (..., in, out): use last two
+    receptive = int(np.prod(shape[:-2])) if len(shape) > 2 else 1
+    return shape[-2] * receptive, shape[-1] * receptive

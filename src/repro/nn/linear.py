@@ -1,0 +1,86 @@
+"""Affine layers: Linear and MLP.
+
+Weights are stored input-major (``in_features x out_features``) so the
+forward pass is ``x @ W + b`` and batches of arbitrary leading dimensions
+broadcast naturally — the models in this reproduction routinely carry
+``(batch, sensors, time, features)`` tensors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from . import init
+from .module import Module, ModuleList, Parameter
+
+
+class Linear(Module):
+    """Affine transformation ``y = x @ W + b`` over the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+_ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": ops.relu,
+    "tanh": ops.tanh,
+    "sigmoid": ops.sigmoid,
+    "identity": lambda x: x,
+}
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation.
+
+    ``sizes`` lists every layer width including input and output, e.g.
+    ``MLP([16, 32, 5])`` is the paper's decoder shape.  The activation is
+    applied between layers but not after the last one unless
+    ``final_activation`` is set.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        activation: str = "relu",
+        final_activation: Optional[str] = None,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}; choose from {sorted(_ACTIVATIONS)}")
+        if final_activation is not None and final_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown final activation {final_activation!r}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.layers = ModuleList(
+            Linear(fan_in, fan_out, bias=bias, rng=rng) for fan_in, fan_out in zip(sizes[:-1], sizes[1:])
+        )
+        self._activation = _ACTIVATIONS[activation]
+        self._final_activation = _ACTIVATIONS[final_activation] if final_activation else None
+        self.sizes = tuple(sizes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < last:
+                x = self._activation(x)
+        if self._final_activation is not None:
+            x = self._final_activation(x)
+        return x

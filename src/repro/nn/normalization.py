@@ -1,0 +1,59 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, ops
+from .module import Module, Parameter
+
+import numpy as np
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learnable affine."""
+
+    def __init__(self, normalized_size: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_size = normalized_size
+        self.eps = eps
+        self.gamma = Parameter(np.ones(normalized_size))
+        self.beta = Parameter(np.zeros(normalized_size))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = ops.mean(x, axis=-1, keepdims=True)
+        centered = x - mean
+        variance = ops.mean(centered * centered, axis=-1, keepdims=True)
+        normalized = centered / ops.sqrt(variance + self.eps)
+        return normalized * self.gamma + self.beta
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over axis 0 with running statistics.
+
+    Used by the temporal-convolution baselines; statistics are tracked in
+    training mode and frozen in eval mode.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            reduce_axes = tuple(range(x.ndim - 1))
+            batch_mean = x.data.mean(axis=reduce_axes)
+            batch_var = x.data.var(axis=reduce_axes)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * batch_var
+            mean = ops.mean(x, axis=reduce_axes, keepdims=True)
+            centered = x - mean
+            variance = ops.mean(centered * centered, axis=reduce_axes, keepdims=True)
+            normalized = centered / ops.sqrt(variance + self.eps)
+        else:
+            normalized = (x - self.running_mean) / np.sqrt(self.running_var + self.eps)
+        return normalized * self.gamma + self.beta

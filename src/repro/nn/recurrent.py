@@ -1,0 +1,111 @@
+"""Recurrent cells and sequence wrappers (GRU / LSTM).
+
+These back the GRU baseline, DCRNN's recurrent skeleton, meta-LSTM, and the
+model-agnostic ST-aware GRU of the paper's Table VII.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from . import init
+from .module import Module, Parameter
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell.
+
+    ``forward(x, h)`` with ``x (..., in_features)`` and ``h (..., hidden)``
+    returns the next hidden state.  Gates are fused into a single matmul.
+    """
+
+    def __init__(self, in_features: int, hidden_size: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.hidden_size = hidden_size
+        self.weight_x = Parameter(init.xavier_uniform((in_features, 3 * hidden_size), rng))
+        self.weight_h = Parameter(init.xavier_uniform((hidden_size, 3 * hidden_size), rng))
+        self.bias = Parameter(init.zeros(3 * hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        gates_x = ops.matmul(x, self.weight_x) + self.bias
+        gates_h = ops.matmul(h, self.weight_h)
+        n = self.hidden_size
+        reset = ops.sigmoid(gates_x[..., :n] + gates_h[..., :n])
+        update = ops.sigmoid(gates_x[..., n : 2 * n] + gates_h[..., n : 2 * n])
+        candidate = ops.tanh(gates_x[..., 2 * n :] + reset * gates_h[..., 2 * n :])
+        return update * h + (1.0 - update) * candidate
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell; returns ``(h, c)``."""
+
+    def __init__(self, in_features: int, hidden_size: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.hidden_size = hidden_size
+        self.weight_x = Parameter(init.xavier_uniform((in_features, 4 * hidden_size), rng))
+        self.weight_h = Parameter(init.xavier_uniform((hidden_size, 4 * hidden_size), rng))
+        self.bias = Parameter(init.zeros(4 * hidden_size))
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h, c = state
+        gates = ops.matmul(x, self.weight_x) + ops.matmul(h, self.weight_h) + self.bias
+        n = self.hidden_size
+        input_gate = ops.sigmoid(gates[..., :n])
+        forget_gate = ops.sigmoid(gates[..., n : 2 * n])
+        cell_update = ops.tanh(gates[..., 2 * n : 3 * n])
+        output_gate = ops.sigmoid(gates[..., 3 * n :])
+        c_next = forget_gate * c + input_gate * cell_update
+        h_next = output_gate * ops.tanh(c_next)
+        return h_next, c_next
+
+
+class GRU(Module):
+    """Run a :class:`GRUCell` over the time axis.
+
+    Input ``(batch, time, features)`` (any extra leading axes are allowed);
+    returns ``(outputs, last_hidden)`` where outputs stacks every step along
+    the time axis.
+    """
+
+    def __init__(self, in_features: int, hidden_size: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cell = GRUCell(in_features, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, h0: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        *lead, time_steps, _ = x.shape
+        h = h0 if h0 is not None else Tensor(np.zeros((*lead, self.hidden_size)))
+        outputs = []
+        for t in range(time_steps):
+            h = self.cell(x[..., t, :], h)
+            outputs.append(h)
+        return ops.stack(outputs, axis=-2), h
+
+
+class LSTM(Module):
+    """Run an :class:`LSTMCell` over the time axis; returns ``(outputs, (h, c))``."""
+
+    def __init__(self, in_features: int, hidden_size: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cell = LSTMCell(in_features, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, state: Optional[Tuple[Tensor, Tensor]] = None):
+        *lead, time_steps, _ = x.shape
+        if state is None:
+            h = Tensor(np.zeros((*lead, self.hidden_size)))
+            c = Tensor(np.zeros((*lead, self.hidden_size)))
+        else:
+            h, c = state
+        outputs = []
+        for t in range(time_steps):
+            h, c = self.cell(x[..., t, :], (h, c))
+            outputs.append(h)
+        return ops.stack(outputs, axis=-2), (h, c)

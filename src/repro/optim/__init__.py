@@ -1,0 +1,16 @@
+"""Optimizers, gradient clipping, LR schedules, early stopping."""
+
+from .optimizers import SGD, Adam, Optimizer, clip_grad_norm
+from .schedulers import ConstantLR, CosineAnnealingLR, EarlyStopping, LRScheduler, StepLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "LRScheduler",
+    "ConstantLR",
+    "StepLR",
+    "CosineAnnealingLR",
+    "EarlyStopping",
+]

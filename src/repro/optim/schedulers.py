@@ -1,0 +1,93 @@
+"""Learning-rate schedules and early stopping."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .optimizers import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler mutating ``optimizer.lr`` each epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+        return self.optimizer.lr
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRScheduler):
+    """No-op schedule (the paper trains with a fixed 1e-3)."""
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from ``base_lr`` to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _lr_at(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + math.cos(math.pi * progress))
+
+
+class EarlyStopping:
+    """Stop training when validation loss stops improving.
+
+    The paper uses early stopping with a patience of 15 epochs.  Tracks the
+    best value and the epoch it occurred at.
+    """
+
+    def __init__(self, patience: int = 15, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.best_epoch = -1
+        self._bad_epochs = 0
+
+    def update(self, value: float, epoch: int) -> bool:
+        """Record a validation value; returns True if training should stop."""
+        if self.best is None or value < self.best - self.min_delta:
+            self.best = value
+            self.best_epoch = epoch
+            self._bad_epochs = 0
+            return False
+        self._bad_epochs += 1
+        return self._bad_epochs >= self.patience
+
+    @property
+    def improved_last_update(self) -> bool:
+        return self._bad_epochs == 0

@@ -1,0 +1,42 @@
+"""From-scratch reverse-mode autodiff substrate (PyTorch substitute).
+
+Public surface:
+
+* :class:`Tensor`, :func:`as_tensor`, :func:`zeros`, :func:`ones`,
+  :class:`no_grad` — core array-with-gradient type.
+* :mod:`repro.tensor.ops` — differentiable primitives.
+* :mod:`repro.tensor.functional` — losses (Huber, Eq. 21), Gaussian KL,
+  reparameterization, attention helpers.
+* :mod:`repro.tensor.gradcheck` — finite-difference validation used by the
+  test suite.
+"""
+
+from . import functional, gradcheck, ops
+from .functional import (
+    gaussian_kl,
+    huber_loss,
+    mae_loss,
+    mse_loss,
+    reparameterize,
+    scaled_dot_product_attention,
+)
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad, ones, unbroadcast, zeros
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "zeros",
+    "ones",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "ops",
+    "functional",
+    "gradcheck",
+    "huber_loss",
+    "mse_loss",
+    "mae_loss",
+    "gaussian_kl",
+    "reparameterize",
+    "scaled_dot_product_attention",
+]

@@ -1,0 +1,97 @@
+"""Composite differentiable functions: losses and variational utilities.
+
+These implement the exact objective of the paper (Section IV-E):
+
+* :func:`huber_loss` — Eq. 21, the robust regression term.
+* :func:`gaussian_kl` — the analytic KL divergence ``D_KL[N(mu, sigma^2) ||
+  N(0, I)]`` used as the regularizer in Eq. 20 (diagonal covariance, as the
+  paper enforces).
+* :func:`reparameterize` — the reparameterization trick (Kingma & Welling)
+  used to sample the stochastic latent variables z and z_t while keeping the
+  training end-to-end differentiable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import ops
+from .tensor import ArrayLike, Tensor, as_tensor
+
+
+def mse_loss(prediction: ArrayLike, target: ArrayLike) -> Tensor:
+    """Mean squared error."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    diff = prediction - target
+    return ops.mean(diff * diff)
+
+
+def mae_loss(prediction: ArrayLike, target: ArrayLike) -> Tensor:
+    """Mean absolute error."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    return ops.mean(ops.abs(prediction - target))
+
+
+def huber_loss(prediction: ArrayLike, target: ArrayLike, delta: float = 1.0) -> Tensor:
+    """Huber loss (paper Eq. 21), reduced by mean.
+
+    Quadratic for residuals with ``|r| <= delta``, linear beyond — less
+    sensitive to outliers in the traffic data than squared error.
+    """
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    residual = prediction - target
+    abs_residual = ops.abs(residual)
+    quadratic = 0.5 * residual * residual
+    linear = delta * (abs_residual - 0.5 * delta)
+    return ops.mean(ops.where(abs_residual.data <= delta, quadratic, linear))
+
+
+def gaussian_kl(mu: ArrayLike, log_var: ArrayLike) -> Tensor:
+    """Analytic ``D_KL[N(mu, diag(exp(log_var))) || N(0, I)]``, mean over batch.
+
+    The paper parameterizes diagonal covariances; we carry ``log_var`` for
+    numerical stability.  Per element the divergence is
+    ``0.5 * (exp(log_var) + mu^2 - 1 - log_var)``; we sum over the latent
+    dimension (last axis) and average the rest.
+    """
+    mu, log_var = as_tensor(mu), as_tensor(log_var)
+    element = 0.5 * (ops.exp(log_var) + mu * mu - 1.0 - log_var)
+    per_sample = ops.sum(element, axis=-1)
+    return ops.mean(per_sample)
+
+
+def reparameterize(mu: ArrayLike, log_var: ArrayLike, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Sample ``z = mu + sigma * eps`` with ``eps ~ N(0, I)``.
+
+    The noise ``eps`` is treated as a constant, so gradients flow to ``mu``
+    and ``log_var`` — the reparameterization trick the paper relies on for
+    end-to-end training of the stochastic parameter generator.
+    """
+    mu, log_var = as_tensor(mu), as_tensor(log_var)
+    rng = rng if rng is not None else np.random.default_rng()
+    eps = rng.standard_normal(mu.shape)
+    sigma = ops.exp(0.5 * log_var)
+    return mu + sigma * Tensor(eps)
+
+
+def linear(x: ArrayLike, weight: ArrayLike, bias: Optional[ArrayLike] = None) -> Tensor:
+    """Affine map ``x @ weight + bias`` (weight stored input-major)."""
+    out = ops.matmul(x, weight)
+    if bias is not None:
+        out = out + as_tensor(bias)
+    return out
+
+
+def attention_scores(query: Tensor, key: Tensor, scale: Optional[float] = None) -> Tensor:
+    """Scaled dot-product scores ``softmax(Q K^T / sqrt(d))`` (paper Eq. 2)."""
+    d = query.shape[-1]
+    scale = scale if scale is not None else 1.0 / float(np.sqrt(d))
+    logits = ops.matmul(query, ops.swapaxes(key, -1, -2)) * scale
+    return ops.softmax(logits, axis=-1)
+
+
+def scaled_dot_product_attention(query: Tensor, key: Tensor, value: Tensor) -> Tensor:
+    """Full attention output ``softmax(Q K^T / sqrt(d)) V`` (paper Eq. 2)."""
+    return ops.matmul(attention_scores(query, key), value)

@@ -1,0 +1,531 @@
+"""Differentiable primitive operations for :class:`repro.tensor.Tensor`.
+
+Every function takes tensors (or array-likes) and returns a new tensor whose
+backward closure routes gradients to the inputs.  Broadcasting follows NumPy
+semantics; the adjoint of broadcasting (summation back to the operand shape)
+is handled centrally by ``Tensor._accumulate`` via ``unbroadcast``.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import ArrayLike, Tensor, as_tensor
+
+Axis = Union[None, int, Tuple[int, ...]]
+
+
+# --------------------------------------------------------------------- #
+# elementwise arithmetic
+# --------------------------------------------------------------------- #
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise ``a + b`` with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad)
+        if b.requires_grad:
+            b._accumulate(grad)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise ``a - b`` with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad)
+        if b.requires_grad:
+            b._accumulate(-grad)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise ``a * b`` with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * b.data)
+        if b.requires_grad:
+            b._accumulate(grad * a.data)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise ``a / b`` with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad / b.data)
+        if b.requires_grad:
+            b._accumulate(-grad * a.data / (b.data * b.data))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def neg(a: ArrayLike) -> Tensor:
+    """Elementwise negation."""
+    a = as_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(-grad)
+
+    return Tensor._make(-a.data, (a,), backward)
+
+
+def power(a: ArrayLike, exponent: float) -> Tensor:
+    """Elementwise ``a ** exponent`` for a scalar exponent."""
+    a = as_tensor(a)
+    exponent = float(exponent)
+    out_data = a.data**exponent
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * exponent * a.data ** (exponent - 1.0))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def exp(a: ArrayLike) -> Tensor:
+    """Elementwise exponential."""
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * out_data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log(a: ArrayLike) -> Tensor:
+    """Elementwise natural logarithm."""
+    a = as_tensor(a)
+    out_data = np.log(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad / a.data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sqrt(a: ArrayLike) -> Tensor:
+    """Elementwise square root."""
+    a = as_tensor(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * 0.5 / out_data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def abs(a: ArrayLike) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    """Elementwise absolute value (subgradient 0 at 0)."""
+    a = as_tensor(a)
+    out_data = np.abs(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * np.sign(a.data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise maximum; ties route the gradient to the first operand."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+    a_wins = a.data >= b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * a_wins)
+        if b.requires_grad:
+            b._accumulate(grad * ~a_wins)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise minimum; ties route the gradient to the first operand."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.minimum(a.data, b.data)
+    a_wins = a.data <= b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * a_wins)
+        if b.requires_grad:
+            b._accumulate(grad * ~a_wins)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def clip(a: ArrayLike, low: float, high: float) -> Tensor:
+    """Clamp values to ``[low, high]``; gradient is 1 inside, 0 outside."""
+    a = as_tensor(a)
+    out_data = np.clip(a.data, low, high)
+    inside = (a.data >= low) & (a.data <= high)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * inside)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Select from ``a`` where ``condition`` else ``b`` (condition is data)."""
+    a, b = as_tensor(a), as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * cond)
+        if b.requires_grad:
+            b._accumulate(grad * ~cond)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# --------------------------------------------------------------------- #
+# activations
+# --------------------------------------------------------------------- #
+def tanh(a: ArrayLike) -> Tensor:
+    """Hyperbolic tangent."""
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * (1.0 - out_data * out_data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sigmoid(a: ArrayLike) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    a = as_tensor(a)
+    x = a.data
+    out_data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))), np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def relu(a: ArrayLike) -> Tensor:
+    """Rectified linear unit."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    out_data = a.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def leaky_relu(a: ArrayLike, negative_slope: float = 0.01) -> Tensor:
+    """Leaky rectified linear unit."""
+    a = as_tensor(a)
+    positive = a.data > 0
+    scale = np.where(positive, 1.0, negative_slope)
+    out_data = a.data * scale
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * scale)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def softplus(a: ArrayLike) -> Tensor:
+    """Numerically stable ``log(1 + exp(a))``."""
+    a = as_tensor(a)
+    x = a.data
+    out_data = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+    sig = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))), np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * sig)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------- #
+# linear algebra
+# --------------------------------------------------------------------- #
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Matrix product with NumPy batching semantics (``a @ b``)."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            if b.data.ndim == 1:
+                # (..., n) @ (n,) -> (...,): d/da = grad ⊗ b
+                a._accumulate(grad[..., None] * b.data)
+            else:
+                a._accumulate(grad @ np.swapaxes(b.data, -1, -2))
+        if b.requires_grad:
+            if a.data.ndim == 1:
+                # (n,) @ (..., n, k) -> (..., k): d/db = a ⊗ grad
+                b._accumulate(a.data[:, None] * grad[..., None, :])
+            elif b.data.ndim == 1:
+                # (..., m, n) @ (n,) -> (..., m): d/db = sum over batch of aᵀ grad
+                b._accumulate(a.data * grad[..., None])
+            else:
+                b._accumulate(np.swapaxes(a.data, -1, -2) @ grad)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def transpose(a: ArrayLike, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    """Permute axes (reverse order when ``axes`` is None)."""
+    a = as_tensor(a)
+    out_data = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = tuple(np.argsort(axes))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(np.transpose(grad, inverse))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def swapaxes(a: ArrayLike, axis1: int, axis2: int) -> Tensor:
+    """Interchange two axes."""
+    a = as_tensor(a)
+    out_data = np.swapaxes(a.data, axis1, axis2)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(np.swapaxes(grad, axis1, axis2))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------- #
+# shape manipulation
+# --------------------------------------------------------------------- #
+def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    """Reshape without copying semantics (gradient reshapes back)."""
+    a = as_tensor(a)
+    out_data = a.data.reshape(shape)
+    original = a.data.shape
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad.reshape(original))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def getitem(a: ArrayLike, index) -> Tensor:
+    """Basic/advanced indexing; the gradient scatters back with ``np.add.at``."""
+    a = as_tensor(a)
+    out_data = a.data[index]
+    original_shape = a.data.shape
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            full = np.zeros(original_shape)
+            np.add.at(full, index, grad)
+            a._accumulate(full)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def concat(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slabs = np.moveaxis(grad, axis, 0)
+        for tensor, slab in zip(tensors, slabs):
+            if tensor.requires_grad:
+                tensor._accumulate(slab)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def pad(a: ArrayLike, pad_width: Sequence[Tuple[int, int]]) -> Tensor:
+    """Zero-pad; the gradient slices the padding away."""
+    a = as_tensor(a)
+    out_data = np.pad(a.data, pad_width)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            index = tuple(slice(before, grad.shape[i] - after) for i, (before, after) in enumerate(pad_width))
+            a._accumulate(grad[index])
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def broadcast_to(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    """Broadcast to ``shape``; the gradient sums back (via unbroadcast)."""
+    a = as_tensor(a)
+    out_data = np.broadcast_to(a.data, shape).copy()
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad)  # unbroadcast happens in _accumulate
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------- #
+# reductions
+# --------------------------------------------------------------------- #
+def _expand_reduced(grad: np.ndarray, shape: Tuple[int, ...], axis: Axis, keepdims: bool) -> np.ndarray:
+    if axis is None:
+        return np.broadcast_to(grad, shape)
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(ax % len(shape) for ax in axes)
+    if not keepdims:
+        for ax in sorted(axes):
+            grad = np.expand_dims(grad, ax)
+    return np.broadcast_to(grad, shape)
+
+
+def sum(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum over ``axis``."""
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_expand_reduced(grad, a.data.shape, axis, keepdims))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def mean(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Mean over ``axis``."""
+    a = as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size / builtins.max(out_data.size, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_expand_reduced(grad, a.data.shape, axis, keepdims) / count)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def var(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Biased variance over ``axis`` (composite, fully differentiable)."""
+    a = as_tensor(a)
+    centered = sub(a, mean(a, axis=axis, keepdims=True))
+    return mean(mul(centered, centered), axis=axis, keepdims=keepdims)
+
+
+def max(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Maximum over ``axis``; gradient splits evenly across ties."""
+    a = as_tensor(a)
+    out_data = a.data.max(axis=axis, keepdims=keepdims)
+    expanded_max = a.data.max(axis=axis, keepdims=True)
+    mask = (a.data == expanded_max).astype(np.float64)
+    mask /= mask.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_expand_reduced(grad, a.data.shape, axis, keepdims) * mask)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def min(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Minimum over ``axis``; gradient splits evenly across ties."""
+    return neg(max(neg(a), axis=axis, keepdims=keepdims))
+
+
+# --------------------------------------------------------------------- #
+# softmax / normalization primitives
+# --------------------------------------------------------------------- #
+def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` with a fused backward."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            # dL/dx = s * (g - sum(g * s))
+            inner = (grad * out_data).sum(axis=axis, keepdims=True)
+            a._accumulate(out_data * (grad - inner))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log_softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def dropout_mask(a: ArrayLike, mask: np.ndarray) -> Tensor:
+    """Apply a fixed (already scaled) dropout mask; gradient uses same mask."""
+    a = as_tensor(a)
+    out_data = a.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (a,), backward)

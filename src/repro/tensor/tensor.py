@@ -1,0 +1,363 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module is the computational substrate of the reproduction: the paper's
+artifact is built on PyTorch, which is unavailable offline, so we implement
+the subset of autograd needed to train every model in the paper from scratch.
+
+The design mirrors the classic tape-based approach:
+
+* A :class:`Tensor` wraps a ``numpy.ndarray`` plus an optional gradient.
+* Every differentiable operation records its parents and a closure that
+  propagates the incoming gradient to them.
+* :meth:`Tensor.backward` topologically sorts the recorded graph and runs the
+  closures in reverse order.
+
+Only float64 is used.  Training at the scale of this reproduction is
+CPU-bound either way, and float64 makes the numerical gradient checks in
+:mod:`repro.tensor.gradcheck` precise enough to validate every op tightly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+
+    def __enter__(self) -> "no_grad":
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _grad_enabled
+        _grad_enabled = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently recorded on the autograd tape."""
+    return _grad_enabled
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    Broadcasting replicates values along new or size-1 axes during the
+    forward pass; the adjoint of replication is summation, so the backward
+    pass must reduce the gradient back to the original operand shape.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode autograd support.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 ``numpy.ndarray``.
+    requires_grad:
+        If True, gradients are accumulated into :attr:`grad` on
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward_fn", "_parents", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
+        self.data = np.asarray(_as_array(data), dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward_fn: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        from . import ops
+
+        return ops.transpose(self)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor({self.data!r}{grad_flag}{label})"
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a graph-detached deep copy."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction / backward
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a graph node from an op's output (internal helper for ops)."""
+        parents = tuple(parents)
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward_fn = backward_fn
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Gradients are accumulated into :attr:`grad` of every tensor that
+        requires grad.  Gradients of intermediate (non-leaf) nodes are freed
+        as soon as they have been propagated, keeping peak memory low.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults to
+            1 for scalar tensors; required for non-scalars.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() on a non-scalar tensor requires an explicit gradient")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
+
+        order = self._topological_order()  # children-first, self at index 0
+        self._accumulate(grad)
+        # Children-first order guarantees every node's gradient is complete
+        # (all children processed) before its own closure runs.
+        for node in order:
+            if node._backward_fn is None:
+                continue
+            if node.grad is None:
+                continue
+            node._backward_fn(node.grad)
+            node.grad = None  # free intermediate gradient memory
+
+    def _topological_order(self) -> list["Tensor"]:
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------ #
+    # operator overloads — implemented in repro.tensor.ops
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.sub(other, self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self) -> "Tensor":
+        from . import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        from . import ops
+
+        return ops.power(self, exponent)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index) -> "Tensor":
+        from . import ops
+
+        return ops.getitem(self, index)
+
+    # convenience methods mirroring the functional API ------------------- #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape) -> "Tensor":
+        from . import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, *axes) -> "Tensor":
+        from . import ops
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return ops.transpose(self, axes or None)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        from . import ops
+
+        return ops.swapaxes(self, axis1, axis2)
+
+    def exp(self) -> "Tensor":
+        from . import ops
+
+        return ops.exp(self)
+
+    def log(self) -> "Tensor":
+        from . import ops
+
+        return ops.log(self)
+
+    def tanh(self) -> "Tensor":
+        from . import ops
+
+        return ops.tanh(self)
+
+    def sigmoid(self) -> "Tensor":
+        from . import ops
+
+        return ops.sigmoid(self)
+
+    def relu(self) -> "Tensor":
+        from . import ops
+
+        return ops.relu(self)
+
+    def sqrt(self) -> "Tensor":
+        from . import ops
+
+        return ops.sqrt(self)
+
+    def abs(self) -> "Tensor":
+        from . import ops
+
+        return ops.abs(self)
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    """Return a zero-filled tensor of ``shape``."""
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    """Return a one-filled tensor of ``shape``."""
+    return Tensor(np.ones(shape), requires_grad=requires_grad)

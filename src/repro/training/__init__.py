@@ -1,0 +1,25 @@
+"""Training harness: trainer, metrics, checkpoints, memory model."""
+
+from . import memory
+from .checkpoint import load_checkpoint, save_checkpoint
+from .metrics import evaluate_all, horizon_breakdown, mae, mape, rmse
+from .trainer import Trainer, TrainerConfig, TrainingHistory
+from .uncertainty import IntervalForecast, interval_diagnostics, predict_interval, sample_forecasts
+
+__all__ = [
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "mae",
+    "rmse",
+    "mape",
+    "evaluate_all",
+    "horizon_breakdown",
+    "save_checkpoint",
+    "load_checkpoint",
+    "memory",
+    "IntervalForecast",
+    "predict_interval",
+    "sample_forecasts",
+    "interval_diagnostics",
+]

@@ -1,0 +1,39 @@
+"""Model checkpointing to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..nn import Module
+
+PathLike = Union[str, Path]
+
+
+def save_checkpoint(model: Module, path: PathLike, metadata: Optional[Dict] = None) -> Path:
+    """Serialize a model's parameters (and JSON-able metadata) to ``path``.
+
+    Parameter names may contain dots; they are stored as-is in the archive.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = model.state_dict()
+    payload = dict(arrays)
+    payload["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_checkpoint(model: Module, path: PathLike) -> Dict:
+    """Load parameters saved by :func:`save_checkpoint`; returns metadata."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        metadata_raw = archive["__metadata__"].tobytes().decode("utf-8")
+        state = {name: archive[name] for name in archive.files if name != "__metadata__"}
+    model.load_state_dict(state)
+    return json.loads(metadata_raw)

@@ -1,0 +1,66 @@
+"""Forecast accuracy metrics: MAE, RMSE, MAPE (paper Section V-A).
+
+Computed on *raw-unit* arrays (vehicles / 5 min).  Following the PEMS
+evaluation convention used by the paper's baselines (DCRNN, GWN, STSGCN),
+near-zero ground-truth values are masked out of MAPE to avoid division
+blow-ups from sensor dropouts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    prediction, target = _validate(prediction, target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error."""
+    prediction, target = _validate(prediction, target)
+    return float(np.sqrt(np.mean((prediction - target) ** 2)))
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, threshold: float = 1.0) -> float:
+    """Mean absolute percentage error (%), masking targets below ``threshold``."""
+    prediction, target = _validate(prediction, target)
+    mask = np.abs(target) >= threshold
+    if not mask.any():
+        return float("nan")
+    return float(np.mean(np.abs((prediction[mask] - target[mask]) / target[mask])) * 100.0)
+
+
+def evaluate_all(prediction: np.ndarray, target: np.ndarray, mape_threshold: float = 1.0) -> Dict[str, float]:
+    """All three headline metrics as a dict (keys: mae, rmse, mape)."""
+    return {
+        "mae": mae(prediction, target),
+        "rmse": rmse(prediction, target),
+        "mape": mape(prediction, target, threshold=mape_threshold),
+    }
+
+
+def horizon_breakdown(prediction: np.ndarray, target: np.ndarray, time_axis: int = -2) -> Dict[int, Dict[str, float]]:
+    """Per-step metrics along the forecast horizon (step -> metrics dict).
+
+    Useful for the 15/30/60-minute breakdowns common in the literature.
+    """
+    prediction, target = _validate(prediction, target)
+    steps = prediction.shape[time_axis]
+    out: Dict[int, Dict[str, float]] = {}
+    for step in range(steps):
+        p = np.take(prediction, step, axis=time_axis)
+        t = np.take(target, step, axis=time_axis)
+        out[step + 1] = evaluate_all(p, t)
+    return out
+
+
+def _validate(prediction: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: prediction {prediction.shape} vs target {target.shape}")
+    return prediction, target

@@ -1,0 +1,191 @@
+"""Training loop: Adam + Huber(+KL) + early stopping (paper Section V-A).
+
+The paper trains with Adam at lr=1e-3, batch size 64, up to 200 epochs with
+early stopping (patience 15).  The :class:`Trainer` reproduces that loop on
+our substrate and additionally records per-epoch wall time (for the runtime
+figures) and supports a ``max_batches_per_epoch`` cap so the fast CI profile
+finishes in seconds.
+
+Scaling convention: models operate in z-scored space; the loss compares
+against scaled targets while reported metrics are computed in raw units via
+the dataset's scaler.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.loss import STWALoss
+from ..data.datasets import TrafficDataset
+from ..data.windows import BatchIterator, SlidingWindowDataset, WindowSpec
+from ..nn import Module
+from ..optim import Adam, EarlyStopping, clip_grad_norm
+from ..tensor import Tensor, no_grad
+from . import metrics as metrics_module
+
+
+@dataclass
+class TrainerConfig:
+    """Knobs of the training loop (paper defaults, scaled-down epochs)."""
+
+    lr: float = 1e-3
+    epochs: int = 200
+    batch_size: int = 64
+    patience: int = 15
+    grad_clip: float = 5.0
+    huber_delta: float = 1.0
+    kl_weight: float = 0.02
+    min_delta: float = 0.0  # minimum val-MAE improvement to reset patience
+    max_batches_per_epoch: Optional[int] = None
+    eval_batches: Optional[int] = None
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record produced by :meth:`Trainer.fit`."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_mae: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def seconds_per_epoch(self) -> float:
+        return float(np.mean(self.epoch_seconds)) if self.epoch_seconds else 0.0
+
+
+class Trainer:
+    """Train a forecaster on a :class:`TrafficDataset`.
+
+    The model must map scaled ``(B, N, H, F)`` tensors to scaled
+    ``(B, N, U, F)`` tensors; if it exposes ``kl_divergence()`` the KL
+    regularizer is added with weight ``config.kl_weight`` (Eq. 20).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        dataset: TrafficDataset,
+        spec: WindowSpec,
+        config: Optional[TrainerConfig] = None,
+    ):
+        self.model = model
+        self.dataset = dataset
+        self.spec = spec
+        self.config = config or TrainerConfig()
+        self.loss_fn = STWALoss(delta=self.config.huber_delta, kl_weight=self.config.kl_weight)
+        # non-learned baselines (persistence, fitted VAR) have no parameters
+        parameters = model.parameters()
+        self.optimizer = Adam(parameters, lr=self.config.lr) if parameters else None
+        self._rng = np.random.default_rng(self.config.seed)
+        self._windows = {
+            "train": SlidingWindowDataset(dataset.train, spec, raw=dataset.train_raw),
+            "val": SlidingWindowDataset(dataset.val, spec, raw=dataset.val_raw),
+            "test": SlidingWindowDataset(dataset.test, spec, raw=dataset.test_raw),
+        }
+
+    # ------------------------------------------------------------------ #
+    def fit(self) -> TrainingHistory:
+        """Run the training loop; restores the best-validation weights."""
+        cfg = self.config
+        history = TrainingHistory()
+        if self.optimizer is None:
+            return history  # nothing to train
+        stopper = EarlyStopping(patience=cfg.patience, min_delta=cfg.min_delta)
+        best_state = self.model.state_dict()
+        iterator = BatchIterator(
+            self._windows["train"],
+            batch_size=cfg.batch_size,
+            shuffle=True,
+            rng=self._rng,
+            max_batches=cfg.max_batches_per_epoch,
+        )
+        for epoch in range(cfg.epochs):
+            start = time.perf_counter()
+            self.model.train()
+            losses = []
+            for x_batch, y_raw in iterator:
+                loss = self._train_step(x_batch, y_raw)
+                losses.append(loss)
+            history.train_loss.append(float(np.mean(losses)))
+            history.epoch_seconds.append(time.perf_counter() - start)
+
+            val = self.evaluate("val", max_batches=cfg.eval_batches)
+            history.val_mae.append(val["mae"])
+            if stopper.improved_last_update or stopper.best is None:
+                pass
+            should_stop = stopper.update(val["mae"], epoch)
+            if stopper.improved_last_update:
+                best_state = self.model.state_dict()
+            if cfg.verbose:
+                print(
+                    f"epoch {epoch:3d} loss={history.train_loss[-1]:.4f} "
+                    f"val_mae={val['mae']:.3f} ({history.epoch_seconds[-1]:.2f}s)"
+                )
+            if should_stop:
+                history.stopped_early = True
+                break
+        history.best_epoch = stopper.best_epoch
+        self.model.load_state_dict(best_state)
+        return history
+
+    def _train_step(self, x_batch: np.ndarray, y_raw: np.ndarray) -> float:
+        scaled_target = Tensor(self.dataset.scaler.transform(y_raw))
+        self.optimizer.zero_grad()
+        prediction = self.model(Tensor(x_batch))
+        loss = self.loss_fn(prediction, scaled_target, model=_kl_capable(self.model))
+        value = float(loss.item())
+        if not np.isfinite(value):
+            raise FloatingPointError(
+                f"training diverged: loss became {value}; lower the learning "
+                "rate or tighten grad_clip"
+            )
+        loss.backward()
+        if self.config.grad_clip:
+            clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+        self.optimizer.step()
+        return value
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, split: str = "test", max_batches: Optional[int] = None) -> Dict[str, float]:
+        """Raw-unit MAE/RMSE/MAPE over ``split``."""
+        if split not in self._windows:
+            raise KeyError(f"split must be one of {sorted(self._windows)}")
+        self.model.eval()
+        predictions, targets = [], []
+        iterator = BatchIterator(
+            self._windows[split],
+            batch_size=self.config.batch_size,
+            shuffle=False,
+            max_batches=max_batches,
+        )
+        with no_grad():
+            for x_batch, y_raw in iterator:
+                prediction = self.model(Tensor(x_batch)).numpy()
+                predictions.append(self.dataset.scaler.inverse_transform(prediction))
+                targets.append(y_raw)
+        prediction = np.concatenate(predictions)
+        target = np.concatenate(targets)
+        return metrics_module.evaluate_all(prediction, target)
+
+    def predict(self, x_batch: np.ndarray) -> np.ndarray:
+        """Forecast raw-unit values for a scaled input batch."""
+        self.model.eval()
+        with no_grad():
+            scaled = self.model(Tensor(x_batch)).numpy()
+        return self.dataset.scaler.inverse_transform(scaled)
+
+
+def _kl_capable(model: Module):
+    return model if hasattr(model, "kl_divergence") else None

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticTrafficConfig, TrafficSimulator
+from repro.data.datasets import TrafficDataset
+from repro.data.scalers import StandardScaler
+from repro.data.windows import chronological_split
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> TrafficDataset:
+    """A very small but structurally complete traffic dataset (shared)."""
+    config = SyntheticTrafficConfig(num_sensors=8, num_days=6, num_corridors=2, seed=7)
+    simulator = TrafficSimulator(config)
+    flows = simulator.generate()
+    train_raw, val_raw, test_raw = chronological_split(flows)
+    scaler = StandardScaler().fit(train_raw)
+    return TrafficDataset(
+        name="TINY",
+        profile="test",
+        train=scaler.transform(train_raw),
+        val=scaler.transform(val_raw),
+        test=scaler.transform(test_raw),
+        train_raw=train_raw,
+        val_raw=val_raw,
+        test_raw=test_raw,
+        scaler=scaler,
+        network=simulator.network,
+    )

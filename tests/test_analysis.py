@@ -1,0 +1,141 @@
+"""t-SNE, k-means, purity, and text plotting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TSNEConfig,
+    ascii_line,
+    ascii_scatter,
+    cluster_purity,
+    export_series_csv,
+    kl_divergence_of_embedding,
+    kmeans,
+    tsne,
+)
+
+
+def blobs(rng, k=3, per=12, dims=8, spread=6.0):
+    centers = rng.standard_normal((k, dims)) * spread
+    points = np.vstack([c + rng.standard_normal((per, dims)) * 0.5 for c in centers])
+    labels = np.repeat(np.arange(k), per)
+    return points, labels
+
+
+class TestTSNE:
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            tsne(rng.standard_normal(10))
+        with pytest.raises(ValueError):
+            tsne(rng.standard_normal((2, 3)))
+
+    def test_output_shape(self, rng):
+        points, _ = blobs(rng)
+        out = tsne(points, TSNEConfig(iterations=60))
+        assert out.shape == (36, 2)
+        assert np.all(np.isfinite(out))
+
+    def test_separates_well_separated_blobs(self, rng):
+        points, labels = blobs(rng)
+        embedding = tsne(points, TSNEConfig(iterations=300, seed=1))
+        predicted, _, _ = kmeans(embedding, 3, seed=1)
+        assert cluster_purity(predicted, labels) > 0.9
+
+    def test_deterministic_given_seed(self, rng):
+        points, _ = blobs(rng, k=2, per=8)
+        a = tsne(points, TSNEConfig(iterations=50, seed=3))
+        b = tsne(points, TSNEConfig(iterations=50, seed=3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_kl_objective_improves_over_random(self, rng):
+        points, _ = blobs(rng)
+        embedding = tsne(points, TSNEConfig(iterations=250, seed=0))
+        random_embedding = rng.standard_normal(embedding.shape)
+        assert kl_divergence_of_embedding(points, embedding) < kl_divergence_of_embedding(
+            points, random_embedding
+        )
+
+    def test_centered_output(self, rng):
+        points, _ = blobs(rng)
+        embedding = tsne(points, TSNEConfig(iterations=50))
+        np.testing.assert_allclose(embedding.mean(axis=0), 0.0, atol=1e-9)
+
+
+class TestKMeans:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(rng.standard_normal(5), 2)
+        with pytest.raises(ValueError):
+            kmeans(rng.standard_normal((5, 2)), 6)
+
+    def test_recovers_blobs(self, rng):
+        points, labels = blobs(rng, dims=2)
+        predicted, centroids, inertia = kmeans(points, 3, seed=0)
+        assert cluster_purity(predicted, labels) == 1.0
+        assert centroids.shape == (3, 2)
+        assert inertia >= 0
+
+    def test_k_equals_n_gives_zero_inertia(self, rng):
+        points = rng.standard_normal((5, 2))
+        _, _, inertia = kmeans(points, 5, seed=0)
+        np.testing.assert_allclose(inertia, 0.0, atol=1e-12)
+
+    def test_single_cluster(self, rng):
+        points = rng.standard_normal((10, 3))
+        labels, centroids, _ = kmeans(points, 1, seed=0)
+        assert set(labels) == {0}
+        np.testing.assert_allclose(centroids[0], points.mean(axis=0))
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert cluster_purity(np.array([0, 0, 1, 1]), np.array([5, 5, 9, 9])) == 1.0
+
+    def test_random_floor(self):
+        labels = np.array([0, 0, 1, 1])
+        truth = np.array([0, 1, 0, 1])
+        assert cluster_purity(labels, truth) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cluster_purity(np.zeros(3), np.zeros(4))
+
+
+class TestTextPlots:
+    def test_scatter_renders(self, rng):
+        out = ascii_scatter(rng.standard_normal(20), rng.standard_normal(20), width=30, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 12  # borders + rows
+        assert all(len(line) == 32 for line in lines)
+
+    def test_scatter_label_glyphs(self):
+        out = ascii_scatter(np.array([0.0, 1.0]), np.array([0.0, 1.0]), labels=np.array([0, 1]))
+        assert "a" in out and "b" in out
+
+    def test_scatter_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros(3), np.zeros(4))
+
+    def test_line_renders_legend(self):
+        out = ascii_line({"fast": [1, 2, 3], "slow": [3, 2, 1]})
+        assert "fast" in out and "slow" in out
+
+    def test_line_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_line({})
+
+    def test_csv_export(self, tmp_path):
+        path = export_series_csv(tmp_path / "series.csv", {"h": [12, 36], "mae": [1.0, 2.0]})
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "h,mae"
+        assert content[1] == "12,1.0"
+
+    def test_csv_unequal_columns_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series_csv(tmp_path / "bad.csv", {"a": [1], "b": [1, 2]})
+
+    def test_csv_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series_csv(tmp_path / "bad.csv", {})

@@ -1,0 +1,127 @@
+"""Normalizing-flow latents (the paper's future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FlowSTLatent, PlanarFlow, make_flow_st_wa
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import check_gradients
+
+
+class TestPlanarFlow:
+    def test_output_shapes(self, rng):
+        flow = PlanarFlow(4, rng=rng)
+        z = Tensor(rng.standard_normal((3, 5, 4)))
+        z_next, log_det = flow(z)
+        assert z_next.shape == (3, 5, 4)
+        assert log_det.shape == (3, 5)
+
+    def test_log_det_finite(self, rng):
+        flow = PlanarFlow(4, rng=rng)
+        z = Tensor(rng.standard_normal((100, 4)) * 10)
+        _, log_det = flow(z)
+        assert np.all(np.isfinite(log_det.numpy()))
+
+    def test_invertibility_condition_holds(self, rng):
+        """wᵀû >= -1 guarantees |1 + ûᵀψ| > 0 everywhere."""
+        for seed in range(5):
+            flow = PlanarFlow(6, rng=np.random.default_rng(seed))
+            flow.scale.data *= 100.0  # stress the constraint
+            u_hat = flow._constrained_scale().numpy()
+            wu = float(np.sum(flow.weight.numpy() * u_hat))
+            assert wu >= -1.0 - 1e-9
+
+    def test_transforms_distribution(self, rng):
+        """After training-free application, output differs from input
+        (u != 0 generically) but stays close for small parameters."""
+        flow = PlanarFlow(4, rng=rng)
+        z = rng.standard_normal((50, 4))
+        z_next, _ = flow(Tensor(z))
+        assert not np.allclose(z_next.numpy(), z)
+
+    def test_gradients(self, rng):
+        flow = PlanarFlow(3, rng=rng)
+        z = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        check_gradients(lambda z_: flow(z_)[0], [z])
+        check_gradients(lambda z_: flow(z_)[1], [z])
+
+    def test_parameter_gradients(self, rng):
+        flow = PlanarFlow(3, rng=rng)
+        z = Tensor(rng.standard_normal((4, 3)))
+        out, log_det = flow(z)
+        (out.sum() + log_det.sum()).backward()
+        assert flow.weight.grad is not None
+        assert flow.scale.grad is not None
+        assert flow.bias.grad is not None
+
+
+class TestFlowSTLatent:
+    def test_requires_at_least_one_flow(self, rng):
+        with pytest.raises(ValueError):
+            FlowSTLatent(4, 12, 1, 3, flow_layers=0, rng=rng)
+
+    def test_theta_shape(self, rng):
+        latent = FlowSTLatent(4, 12, 1, 3, flow_layers=2, rng=rng)
+        theta = latent(Tensor(rng.standard_normal((2, 4, 12, 1))))
+        assert theta.shape == (2, 4, 3)
+
+    def test_mc_kl_finite_and_differentiable(self, rng):
+        latent = FlowSTLatent(4, 12, 1, 3, flow_layers=2, rng=rng)
+        latent(Tensor(rng.standard_normal((2, 4, 12, 1))))
+        kl = latent.kl_divergence()
+        assert kl is not None and np.isfinite(kl.item())
+        kl.backward()
+        assert latent.spatial.mu.grad is not None
+        flow_weight = latent.flows[0].weight
+        assert flow_weight.grad is not None
+
+    def test_deterministic_mode_has_no_kl(self, rng):
+        latent = FlowSTLatent(4, 12, 1, 3, flow_layers=1, deterministic=True, rng=rng)
+        latent(Tensor(rng.standard_normal((1, 4, 12, 1))))
+        assert latent.kl_divergence() is None
+
+    def test_flow_output_differs_from_gaussian_base(self, rng):
+        """The flows actually transform Θ (non-identity transform)."""
+        from repro.core import STLatent
+
+        gaussian = STLatent(4, 12, 1, 3, rng=np.random.default_rng(1))
+        flowed = FlowSTLatent(4, 12, 1, 3, flow_layers=2, rng=np.random.default_rng(1))
+        flowed.eval()
+        gaussian.eval()
+        # copy the shared base parameters so only the flows differ
+        base_state = {k: v for k, v in gaussian.state_dict().items()}
+        flow_state = flowed.state_dict()
+        for key, value in base_state.items():
+            flow_state[key] = value
+        flowed.load_state_dict(flow_state)
+        x = Tensor(rng.standard_normal((1, 4, 12, 1)))
+        assert not np.allclose(gaussian(x).numpy(), flowed(x).numpy())
+
+
+class TestFlowSTWA:
+    def test_end_to_end(self, rng):
+        model = make_flow_st_wa(5, model_dim=8, latent_dim=4, skip_dim=8, predictor_hidden=16, seed=1)
+        x = Tensor(rng.standard_normal((2, 5, 12, 1)))
+        out = model(x)
+        assert out.shape == (2, 5, 12, 1)
+        assert model.kl_divergence() is not None
+
+    def test_trains(self, rng):
+        from repro.optim import Adam
+        from repro.core import STWALoss
+
+        model = make_flow_st_wa(4, model_dim=8, latent_dim=4, skip_dim=8, predictor_hidden=16, seed=1)
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        loss_fn = STWALoss(kl_weight=0.02)
+        x = Tensor(rng.standard_normal((4, 4, 12, 1)))
+        y = Tensor(rng.standard_normal((4, 4, 12, 1)) * 0.1)
+        losses = []
+        for _ in range(15):
+            optimizer.zero_grad()
+            loss = loss_fn(model(x), y, model=model)
+            losses.append(loss.item())
+            loss.backward()
+            optimizer.step()
+        assert losses[-1] < losses[0]

@@ -1,0 +1,65 @@
+"""Parameter decoder D_ω (paper Eq. 8): latent -> model parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generator import ParameterDecoder
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import check_gradients
+
+
+class TestParameterDecoder:
+    def test_requires_shapes(self, rng):
+        with pytest.raises(ValueError):
+            ParameterDecoder(4, {}, rng=rng)
+
+    def test_output_shapes(self, rng):
+        decoder = ParameterDecoder(4, {"K": (3, 5), "V": (3, 5)}, rng=rng)
+        out = decoder(Tensor(rng.standard_normal((2, 6, 4))))
+        assert set(out) == {"K", "V"}
+        assert out["K"].shape == (2, 6, 3, 5)
+        assert out["V"].shape == (2, 6, 3, 5)
+
+    def test_total_size(self, rng):
+        decoder = ParameterDecoder(4, {"Q": (2, 3), "K": (2, 3), "V": (2, 3)}, rng=rng)
+        assert decoder.total_size == 18
+
+    def test_distinct_latents_give_distinct_parameters(self, rng):
+        """The heart of spatio-temporal awareness: different Θ -> different
+        projection matrices."""
+        decoder = ParameterDecoder(4, {"K": (3, 5)}, rng=rng)
+        theta = Tensor(rng.standard_normal((2, 4)))
+        out = decoder(theta)["K"].numpy()
+        assert not np.allclose(out[0], out[1])
+
+    def test_shared_decoder_is_a_function(self, rng):
+        """Same latent -> same parameters (the decoder itself is shared)."""
+        decoder = ParameterDecoder(4, {"K": (3, 5)}, rng=rng)
+        theta = Tensor(rng.standard_normal((1, 4)))
+        a = decoder(theta)["K"].numpy()
+        b = decoder(theta)["K"].numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_gradients_flow_to_latent(self, rng):
+        decoder = ParameterDecoder(3, {"K": (2, 2), "V": (2, 2)}, rng=rng)
+        theta = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        check_gradients(lambda t: decoder(t)["K"] + decoder(t)["V"], [theta])
+
+    def test_parameter_scaling_reasonable(self, rng):
+        """Generated projections should start near Xavier magnitude, not
+        explode — otherwise training diverges immediately."""
+        decoder = ParameterDecoder(8, {"K": (16, 16)}, hidden=(16, 32), rng=rng)
+        theta = Tensor(rng.standard_normal((10, 8)))
+        out = decoder(theta)["K"].numpy()
+        assert np.abs(out).mean() < 1.0
+
+    def test_parameter_count_scales_with_decoder_not_sensors(self, rng):
+        """Section IV-A.3: O(N*k) + shared decoder, not O(N*d^2)."""
+        small = ParameterDecoder(8, {"K": (16, 16)}, hidden=(16, 32), rng=rng)
+        # decoder size is independent of how many sensors use it
+        theta_many = Tensor(rng.standard_normal((1000, 8)))
+        out = small(theta_many)["K"]
+        assert out.shape == (1000, 16, 16)
+        assert small.num_parameters() < 1000 * 16 * 16  # far fewer than naive

@@ -1,0 +1,127 @@
+"""Stochastic latent variables Θ = z + z_t (paper Eq. 4-7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.latent import SpatialLatent, STLatent, TemporalLatentEncoder
+from repro.tensor import Tensor
+
+
+class TestSpatialLatent:
+    def test_sample_shape(self, rng):
+        latent = SpatialLatent(6, 4, rng=rng)
+        assert latent.sample().shape == (6, 4)
+
+    def test_training_samples_are_stochastic(self, rng):
+        latent = SpatialLatent(6, 4, rng=rng)
+        latent.train()
+        a, b = latent.sample().numpy(), latent.sample().numpy()
+        assert not np.allclose(a, b)
+
+    def test_eval_returns_mean(self, rng):
+        latent = SpatialLatent(6, 4, rng=rng)
+        latent.eval()
+        np.testing.assert_array_equal(latent.sample().numpy(), latent.mu.numpy())
+
+    def test_deterministic_flag_returns_mean(self, rng):
+        latent = SpatialLatent(6, 4, deterministic=True, rng=rng)
+        latent.train()
+        np.testing.assert_array_equal(latent.sample().numpy(), latent.mu.numpy())
+
+    def test_each_sensor_has_own_latent(self, rng):
+        """Spatial-awareness: per-sensor parameters (Eq. 5)."""
+        latent = SpatialLatent(6, 4, rng=rng)
+        mu = latent.mu.numpy()
+        assert not np.allclose(mu[0], mu[1])
+
+    def test_parameters_are_learnable(self, rng):
+        latent = SpatialLatent(3, 4, rng=rng)
+        latent.eval()
+        latent.sample().sum().backward()
+        assert latent.mu.grad is not None
+
+
+class TestTemporalLatentEncoder:
+    def test_distribution_shapes(self, rng):
+        encoder = TemporalLatentEncoder(history=12, in_features=1, latent_dim=8, rng=rng)
+        x = Tensor(rng.standard_normal((2, 5, 12, 1)))
+        mu, log_var = encoder.distribution(x)
+        assert mu.shape == (2, 5, 8) and log_var.shape == (2, 5, 8)
+
+    def test_log_var_clipped(self, rng):
+        encoder = TemporalLatentEncoder(history=4, in_features=1, latent_dim=3, rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 4, 1)) * 1000)
+        _, log_var = encoder.distribution(x)
+        assert log_var.numpy().max() <= 4.0 and log_var.numpy().min() >= -8.0
+
+    def test_depends_on_input(self, rng):
+        """Temporal-awareness: different histories -> different z_t (Eq. 6)."""
+        encoder = TemporalLatentEncoder(history=6, in_features=1, latent_dim=4, rng=rng)
+        encoder.eval()
+        a = encoder.sample(Tensor(rng.standard_normal((1, 3, 6, 1)))).numpy()
+        b = encoder.sample(Tensor(rng.standard_normal((1, 3, 6, 1)))).numpy()
+        assert not np.allclose(a, b)
+
+    def test_eval_mode_deterministic(self, rng):
+        encoder = TemporalLatentEncoder(history=6, in_features=1, latent_dim=4, rng=rng)
+        encoder.eval()
+        x = Tensor(rng.standard_normal((1, 3, 6, 1)))
+        np.testing.assert_array_equal(encoder.sample(x).numpy(), encoder.sample(x).numpy())
+
+
+class TestSTLatent:
+    def test_invalid_mode_raises(self, rng):
+        with pytest.raises(ValueError):
+            STLatent(4, 6, 1, 3, mode="bogus", rng=rng)
+
+    @pytest.mark.parametrize("mode,expected_shape", [("st", (2, 4, 3)), ("temporal", (2, 4, 3)), ("spatial", (4, 3))])
+    def test_theta_shapes(self, mode, expected_shape, rng):
+        latent = STLatent(4, 6, 1, 3, mode=mode, rng=rng)
+        theta = latent(Tensor(rng.standard_normal((2, 4, 6, 1))))
+        assert theta.shape == expected_shape
+
+    def test_st_mode_has_both_branches(self, rng):
+        latent = STLatent(4, 6, 1, 3, mode="st", rng=rng)
+        assert latent.spatial is not None and latent.temporal is not None
+
+    def test_kl_positive_and_differentiable(self, rng):
+        latent = STLatent(4, 6, 1, 3, mode="st", rng=rng)
+        latent(Tensor(rng.standard_normal((2, 4, 6, 1))))
+        kl = latent.kl_divergence()
+        assert kl is not None and kl.item() > 0
+        kl.backward()
+        assert latent.spatial.mu.grad is not None
+
+    def test_deterministic_mode_has_no_kl(self, rng):
+        latent = STLatent(4, 6, 1, 3, mode="st", deterministic=True, rng=rng)
+        latent(Tensor(rng.standard_normal((2, 4, 6, 1))))
+        assert latent.kl_divergence() is None
+
+    def test_theta_is_sum_of_components_in_eval(self, rng):
+        """Eq. 4: Θ = z + z_t (means in eval mode)."""
+        latent = STLatent(4, 6, 1, 3, mode="st", rng=rng)
+        latent.eval()
+        x = Tensor(rng.standard_normal((2, 4, 6, 1)))
+        theta = latent(x).numpy()
+        z = latent.spatial.mu.numpy()
+        z_t = latent.temporal.sample(x).numpy()
+        np.testing.assert_allclose(theta, z + z_t, atol=1e-12)
+
+    def test_kl_shrinks_under_optimization(self, rng):
+        """Minimizing KL alone should pull the posterior towards N(0, I)."""
+        from repro.optim import Adam
+
+        latent = STLatent(4, 6, 1, 3, mode="st", rng=rng)
+        optimizer = Adam(latent.parameters(), lr=0.05)
+        x = Tensor(rng.standard_normal((2, 4, 6, 1)))
+        latent(x)
+        initial = latent.kl_divergence().item()
+        for _ in range(60):
+            optimizer.zero_grad()
+            latent(x)
+            latent.kl_divergence().backward()
+            optimizer.step()
+        latent(x)
+        assert latent.kl_divergence().item() < initial

@@ -1,0 +1,159 @@
+"""The full ST-WA model and its paper-named variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    STWA,
+    STWAConfig,
+    STWALoss,
+    default_window_sizes,
+    make_deterministic_st_wa,
+    make_mean_aggregator_st_wa,
+    make_s_wa,
+    make_st_wa,
+    make_wa,
+    make_wa1,
+)
+from repro.tensor import Tensor
+
+
+SMALL = dict(model_dim=8, latent_dim=4, skip_dim=8, predictor_hidden=16)
+
+
+class TestConfig:
+    def test_window_sizes_must_divide_history(self):
+        with pytest.raises(ValueError, match="divide"):
+            STWAConfig(num_sensors=4, history=12, window_sizes=(5,)).layer_lengths()
+
+    def test_layer_lengths(self):
+        config = STWAConfig(num_sensors=4, history=12, window_sizes=(3, 2, 2))
+        assert config.layer_lengths() == [12, 4, 2]
+
+    def test_default_window_sizes(self):
+        assert default_window_sizes(12) == (3, 2, 2)
+        assert default_window_sizes(72) == (6, 6, 2)
+        sizes = default_window_sizes(36)
+        remaining = 36
+        for s in sizes:
+            assert remaining % s == 0
+            remaining //= s
+
+
+class TestForward:
+    @pytest.mark.parametrize(
+        "maker",
+        [make_st_wa, make_s_wa, make_wa, make_wa1, make_deterministic_st_wa, make_mean_aggregator_st_wa],
+        ids=["ST-WA", "S-WA", "WA", "WA-1", "det", "mean-agg"],
+    )
+    def test_variant_shapes(self, maker, rng):
+        model = maker(5, history=12, horizon=12, seed=1, **SMALL)
+        out = model(Tensor(rng.standard_normal((2, 5, 12, 1))))
+        assert out.shape == (2, 5, 12, 1)
+
+    def test_history_mismatch_raises(self, rng):
+        model = make_st_wa(5, seed=1, **SMALL)
+        with pytest.raises(ValueError, match="history"):
+            model(Tensor(rng.standard_normal((2, 5, 10, 1))))
+
+    def test_kl_present_for_stochastic_variants(self, rng):
+        x = Tensor(rng.standard_normal((2, 5, 12, 1)))
+        st_wa = make_st_wa(5, seed=1, **SMALL)
+        st_wa(x)
+        assert st_wa.kl_divergence() is not None and st_wa.kl_divergence().item() > 0
+
+    def test_kl_absent_for_agnostic_and_deterministic(self, rng):
+        x = Tensor(rng.standard_normal((2, 5, 12, 1)))
+        for maker in (make_wa, make_deterministic_st_wa):
+            model = maker(5, seed=1, **SMALL)
+            model(x)
+            assert model.kl_divergence() is None
+
+    def test_eval_mode_is_deterministic(self, rng):
+        model = make_st_wa(5, seed=1, **SMALL)
+        model.eval()
+        x = Tensor(rng.standard_normal((1, 5, 12, 1)))
+        np.testing.assert_array_equal(model(x).numpy(), model(x).numpy())
+
+    def test_train_mode_is_stochastic(self, rng):
+        model = make_st_wa(5, seed=1, **SMALL)
+        model.train()
+        x = Tensor(rng.standard_normal((1, 5, 12, 1)))
+        assert not np.allclose(model(x).numpy(), model(x).numpy())
+
+    def test_temporal_awareness_changes_parameters_across_inputs(self, rng):
+        """The generated projections differ between two input windows —
+        time-varying parameters, the paper's core claim."""
+        model = make_st_wa(5, seed=1, **SMALL)
+        model.eval()
+        a = model.generated_projections(Tensor(rng.standard_normal((1, 5, 12, 1))))
+        b = model.generated_projections(Tensor(rng.standard_normal((1, 5, 12, 1))))
+        assert not np.allclose(a[0]["K"].numpy(), b[0]["K"].numpy())
+
+    def test_spatial_awareness_distinct_parameters_per_sensor(self, rng):
+        model = make_s_wa(5, seed=1, **SMALL)
+        model.eval()
+        projections = model.generated_projections(Tensor(rng.standard_normal((1, 5, 12, 1))))
+        k = projections[0]["K"].numpy()
+        assert not np.allclose(k[0], k[1])
+
+    def test_agnostic_model_rejects_projection_query(self, rng):
+        model = make_wa(5, seed=1, **SMALL)
+        with pytest.raises(RuntimeError, match="agnostic"):
+            model.generated_projections(Tensor(rng.standard_normal((1, 5, 12, 1))))
+
+    def test_sensor_attention_can_be_disabled(self, rng):
+        model = make_st_wa(5, seed=1, sensor_attention=False, **SMALL)
+        out = model(Tensor(rng.standard_normal((2, 5, 12, 1))))
+        assert out.shape == (2, 5, 12, 1)
+        assert len(model.sensor_attentions) == 0
+
+    def test_multi_feature_input(self, rng):
+        model = STWA(STWAConfig(num_sensors=4, in_features=2, history=12, horizon=6, seed=1, **SMALL))
+        out = model(Tensor(rng.standard_normal((2, 4, 12, 2))))
+        assert out.shape == (2, 4, 6, 2)
+
+
+class TestVariantOrderingOfCapacity:
+    def test_parameter_count_ordering(self):
+        """ST-WA > S-WA > WA > WA-1 in parameters (Table VIII shape)."""
+        st_wa = make_st_wa(10, seed=0).num_parameters()
+        s_wa = make_s_wa(10, seed=0).num_parameters()
+        wa = make_wa(10, seed=0).num_parameters()
+        wa1 = make_wa1(10, seed=0).num_parameters()
+        assert st_wa > s_wa > wa > wa1
+
+    def test_generation_decouples_sensors_from_d_squared(self):
+        """Scaling N 10x must grow parameters far less than 10x (the O(N*k)
+        vs O(N*d^2) claim of Section IV-A.3)."""
+        small_n = make_st_wa(10, seed=0).num_parameters()
+        large_n = make_st_wa(100, seed=0).num_parameters()
+        assert large_n < small_n * 3
+
+
+class TestLoss:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            STWALoss(delta=0.0)
+        with pytest.raises(ValueError):
+            STWALoss(kl_weight=-1.0)
+
+    def test_loss_includes_kl_for_stochastic_model(self, rng):
+        model = make_st_wa(4, seed=1, **SMALL)
+        x = Tensor(rng.standard_normal((2, 4, 12, 1)))
+        prediction = model(x)
+        target = Tensor(np.zeros(prediction.shape))
+        with_kl = STWALoss(kl_weight=1.0)(prediction, target, model=model)
+        without_kl = STWALoss(kl_weight=0.0)(prediction, target, model=model)
+        assert with_kl.item() > without_kl.item()
+
+    def test_loss_backward_reaches_all_parameters(self, rng):
+        model = make_st_wa(4, seed=1, **SMALL)
+        x = Tensor(rng.standard_normal((2, 4, 12, 1)))
+        prediction = model(x)
+        loss = STWALoss(kl_weight=0.1)(prediction, Tensor(np.zeros(prediction.shape)), model=model)
+        loss.backward()
+        with_grad = sum(1 for p in model.parameters() if p.grad is not None)
+        assert with_grad / len(model.parameters()) > 0.95

@@ -1,0 +1,60 @@
+"""Sensor-correlation attention (paper Eq. 15-16)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sensor_attention import SensorCorrelationAttention
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import check_gradients
+
+
+class TestSensorCorrelationAttention:
+    def test_output_shape(self, rng):
+        layer = SensorCorrelationAttention(4, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 3, 5, 4))))  # (B, W, N, d)
+        assert out.shape == (2, 3, 5, 4)
+
+    def test_mixes_information_across_sensors(self, rng):
+        layer = SensorCorrelationAttention(4, residual=False, rng=rng)
+        h = rng.standard_normal((1, 1, 5, 4))
+        base = layer(Tensor(h)).numpy()
+        perturbed = h.copy()
+        perturbed[0, 0, 3] += 10.0
+        out = layer(Tensor(perturbed)).numpy()
+        # sensor 0's representation changes because sensor 3 changed
+        assert not np.allclose(base[0, 0, 0], out[0, 0, 0])
+
+    def test_residual_preserves_input_contribution(self, rng):
+        layer = SensorCorrelationAttention(4, residual=True, rng=rng)
+        h = Tensor(rng.standard_normal((1, 2, 5, 4)))
+        no_resid = SensorCorrelationAttention(4, residual=False, rng=np.random.default_rng(0))
+        out = layer(h).numpy()
+        assert not np.allclose(out, h.numpy())
+        # residual output = input + mixed; mixed is bounded by value range
+        assert np.abs(out).max() <= np.abs(h.numpy()).max() * 2 + 1e-9
+
+    def test_generated_projections_change_output(self, rng):
+        layer = SensorCorrelationAttention(3, rng=rng)
+        h = Tensor(rng.standard_normal((2, 4, 3)))  # (B, N, d)
+        projections = {
+            "theta1": Tensor(rng.standard_normal((4, 3, 3))),
+            "theta2": Tensor(rng.standard_normal((4, 3, 3))),
+        }
+        static = layer(h).numpy()
+        generated = layer(h, projections).numpy()
+        assert not np.allclose(static, generated)
+
+    def test_gradients(self, rng):
+        layer = SensorCorrelationAttention(3, rng=rng)
+        h = Tensor(rng.standard_normal((1, 4, 3)), requires_grad=True)
+        check_gradients(lambda h_: layer(h_), [h])
+
+    def test_attention_is_normalized_over_sources(self, rng):
+        """Eq. 15 denominator: per-target scores sum to 1, so a constant
+        field stays constant (up to residual)."""
+        layer = SensorCorrelationAttention(3, residual=False, rng=rng)
+        constant = np.ones((1, 5, 3))
+        out = layer(Tensor(constant)).numpy()
+        np.testing.assert_allclose(out, np.ones_like(out), atol=1e-9)

@@ -1,0 +1,145 @@
+"""Window attention with proxies (paper Eq. 10-14)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.window_attention import ProxyAggregator, WindowAttention
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import check_gradients
+
+
+def make_layer(rng, **overrides):
+    kwargs = dict(
+        num_sensors=3,
+        in_features=2,
+        model_dim=4,
+        num_windows=3,
+        window_size=4,
+        num_proxies=2,
+        rng=rng,
+    )
+    kwargs.update(overrides)
+    return WindowAttention(**kwargs)
+
+
+class TestProxyAggregator:
+    def test_invalid_mode(self, rng):
+        with pytest.raises(ValueError):
+            ProxyAggregator(4, mode="median", rng=rng)
+
+    def test_weighted_output_shape(self, rng):
+        agg = ProxyAggregator(4, rng=rng)
+        out = agg(Tensor(rng.standard_normal((2, 3, 5, 4))))
+        assert out.shape == (2, 3, 4)
+
+    def test_mean_mode_is_uniform_average(self, rng):
+        agg = ProxyAggregator(4, mode="mean", rng=rng)
+        x = rng.standard_normal((2, 3, 5, 4))
+        np.testing.assert_allclose(agg(Tensor(x)).numpy(), x.mean(axis=-2))
+
+    def test_weighted_gates_bounded(self, rng):
+        """Eq. 12: sigmoid gate keeps per-proxy weights in [0, 1], so the
+        aggregate is bounded by the sum of |proxy| outputs."""
+        agg = ProxyAggregator(4, rng=rng)
+        x = rng.standard_normal((2, 3, 5, 4))
+        out = agg(Tensor(x)).numpy()
+        assert np.all(np.abs(out) <= np.abs(x).sum(axis=-2) + 1e-9)
+
+    def test_gradients(self, rng):
+        agg = ProxyAggregator(3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 3)), requires_grad=True)
+        check_gradients(lambda x_: agg(x_), [x])
+
+
+class TestWindowAttention:
+    def test_model_dim_head_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            make_layer(rng, model_dim=5, num_heads=2)
+
+    def test_output_shape(self, rng):
+        layer = make_layer(rng)
+        out = layer(Tensor(rng.standard_normal((2, 3, 12, 2))))
+        assert out.shape == (2, 3, 3, 4)  # (B, N, W, d)
+
+    def test_input_validation(self, rng):
+        layer = make_layer(rng)
+        with pytest.raises(ValueError, match="input length"):
+            layer(Tensor(rng.standard_normal((2, 3, 10, 2))))
+        with pytest.raises(ValueError, match="sensors"):
+            layer(Tensor(rng.standard_normal((2, 4, 12, 2))))
+        with pytest.raises(ValueError, match="features"):
+            layer(Tensor(rng.standard_normal((2, 3, 12, 3))))
+
+    def test_proxy_tensor_shape_matches_paper(self, rng):
+        """P in R^{W x N x p x d} (Section IV-B)."""
+        layer = make_layer(rng)
+        assert layer.proxies.shape == (3, 3, 2, 4)
+
+    def test_generated_projections_accepted(self, rng):
+        layer = make_layer(rng)
+        x = Tensor(rng.standard_normal((2, 3, 12, 2)))
+        projections = {
+            "K": Tensor(rng.standard_normal((2, 3, 2, 4))),
+            "V": Tensor(rng.standard_normal((2, 3, 2, 4))),
+        }
+        out = layer(x, projections)
+        assert out.shape == (2, 3, 3, 4)
+        # generated projections change the output vs static ones
+        assert not np.allclose(out.numpy(), layer(x).numpy())
+
+    def test_per_sensor_projections_break_sensor_symmetry(self, rng):
+        """Two sensors with identical inputs produce identical outputs under
+        static (agnostic) projections... except proxies are per-sensor too,
+        so feed identical proxies and check the *generated* path differs."""
+        layer = make_layer(rng, num_sensors=2)
+        layer.proxies.data[:] = layer.proxies.data[:, :1]  # same proxies for both sensors
+        x_np = rng.standard_normal((1, 1, 12, 2))
+        x = Tensor(np.repeat(x_np, 2, axis=1))
+        static_out = layer(x).numpy()
+        np.testing.assert_allclose(static_out[:, 0], static_out[:, 1], atol=1e-12)
+        projections = {
+            "K": Tensor(rng.standard_normal((2, 2, 4))),  # per-sensor K
+            "V": Tensor(rng.standard_normal((2, 2, 4))),
+        }
+        generated_out = layer(x, projections).numpy()
+        assert not np.allclose(generated_out[:, 0], generated_out[:, 1])
+
+    def test_cross_window_fusion_propagates_information(self, rng):
+        """Eq. 14: perturbing window 0 must influence window 2's output when
+        fusion is on, and must NOT when fusion is off."""
+        x_np = rng.standard_normal((1, 3, 12, 2))
+        perturbed = x_np.copy()
+        perturbed[0, 0, 0] += 10.0  # inside window 0
+
+        fused = make_layer(rng, cross_window_fusion=True)
+        base = fused(Tensor(x_np)).numpy()
+        moved = fused(Tensor(perturbed)).numpy()
+        assert not np.allclose(base[0, 0, 2], moved[0, 0, 2])  # window 2 changed
+
+        unfused = make_layer(rng, cross_window_fusion=False)
+        base = unfused(Tensor(x_np)).numpy()
+        moved = unfused(Tensor(perturbed)).numpy()
+        np.testing.assert_allclose(base[0, 0, 2], moved[0, 0, 2], atol=1e-12)
+
+    @pytest.mark.parametrize("heads", [1, 2])
+    def test_gradients(self, heads, rng):
+        layer = make_layer(rng, num_windows=2, window_size=3, num_heads=heads)
+        x = Tensor(rng.standard_normal((1, 3, 6, 2)), requires_grad=True)
+        check_gradients(lambda x_: layer(x_), [x], atol=1e-4, rtol=1e-3)
+
+    def test_proxies_receive_gradient(self, rng):
+        layer = make_layer(rng)
+        x = Tensor(rng.standard_normal((1, 3, 12, 2)))
+        layer(x).sum().backward()
+        assert layer.proxies.grad is not None
+        assert np.abs(layer.proxies.grad).sum() > 0
+
+    def test_linear_complexity_in_score_count(self, rng):
+        """O(p*H) attention scores vs O(H^2): count score-matrix elements."""
+        history = 24
+        layer = make_layer(rng, num_windows=6, window_size=4)
+        scores_window = layer.num_windows * layer.num_proxies * layer.window_size
+        scores_canonical = history * history
+        assert scores_window < scores_canonical / 4

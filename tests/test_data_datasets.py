@@ -1,0 +1,79 @@
+"""Dataset registry and the PEMS-sim loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+    sensors_for_profile,
+)
+
+
+class TestRegistry:
+    def test_four_pems_datasets(self):
+        assert available_datasets() == ["PEMS03", "PEMS04", "PEMS07", "PEMS08"]
+
+    def test_paper_sensor_counts(self):
+        assert dataset_spec("PEMS03").paper_sensors == 358
+        assert dataset_spec("PEMS04").paper_sensors == 307
+        assert dataset_spec("PEMS07").paper_sensors == 883
+        assert dataset_spec("PEMS08").paper_sensors == 170
+
+    def test_case_and_suffix_insensitive(self):
+        assert dataset_spec("pems04-sim").name == "PEMS04"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            dataset_spec("METR-LA")
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("PEMS04", profile="huge")
+
+    def test_size_ordering_preserved(self):
+        """PEMS07 largest, PEMS08 smallest — matters for the OOM table."""
+        sizes = {name: sensors_for_profile(name, "fast") for name in available_datasets()}
+        assert sizes["PEMS07"] > sizes["PEMS03"] >= sizes["PEMS04"] > sizes["PEMS08"]
+
+
+class TestLoadDataset:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return load_dataset("PEMS08", profile="fast")
+
+    def test_split_fractions(self, ds):
+        total = ds.train.shape[1] + ds.val.shape[1] + ds.test.shape[1]
+        np.testing.assert_allclose(ds.train.shape[1] / total, 0.6, atol=0.01)
+        np.testing.assert_allclose(ds.val.shape[1] / total, 0.2, atol=0.01)
+
+    def test_train_is_scaled(self, ds):
+        np.testing.assert_allclose(ds.train.mean(), 0.0, atol=1e-9)
+        np.testing.assert_allclose(ds.train.std(), 1.0, atol=1e-9)
+
+    def test_raw_recoverable_via_scaler(self, ds):
+        np.testing.assert_allclose(ds.scaler.inverse_transform(ds.val), ds.val_raw, atol=1e-9)
+
+    def test_adjacency_matches_sensor_count(self, ds):
+        assert ds.adjacency.shape == (ds.num_sensors, ds.num_sensors)
+        assert (ds.adjacency > 0).sum() > 0
+
+    def test_deterministic(self):
+        a = load_dataset("PEMS08", profile="fast")
+        b = load_dataset("PEMS08", profile="fast")
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_seed_offset_changes_data(self):
+        a = load_dataset("PEMS08", profile="fast")
+        b = load_dataset("PEMS08", profile="fast", seed_offset=1)
+        assert not np.allclose(a.train_raw, b.train_raw)
+
+    def test_different_datasets_differ(self):
+        a = load_dataset("PEMS04", profile="fast")
+        b = load_dataset("PEMS03", profile="fast")
+        assert a.num_sensors != b.num_sensors or not np.allclose(
+            a.train_raw[: b.num_sensors], b.train_raw[: a.num_sensors]
+        )

@@ -1,0 +1,62 @@
+"""Dataset persistence round trips and CSV export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import export_sensor_csv, load_saved_dataset, save_dataset
+
+
+class TestDatasetRoundtrip:
+    def test_arrays_preserved(self, tiny_dataset, tmp_path):
+        path = save_dataset(tiny_dataset, tmp_path / "tiny.npz")
+        loaded = load_saved_dataset(path)
+        np.testing.assert_array_equal(loaded.train_raw, tiny_dataset.train_raw)
+        np.testing.assert_array_equal(loaded.val_raw, tiny_dataset.val_raw)
+        np.testing.assert_array_equal(loaded.test_raw, tiny_dataset.test_raw)
+
+    def test_scaler_preserved(self, tiny_dataset, tmp_path):
+        path = save_dataset(tiny_dataset, tmp_path / "tiny.npz")
+        loaded = load_saved_dataset(path)
+        assert loaded.scaler.mean == tiny_dataset.scaler.mean
+        assert loaded.scaler.std == tiny_dataset.scaler.std
+        np.testing.assert_allclose(loaded.train, tiny_dataset.train)
+
+    def test_network_preserved(self, tiny_dataset, tmp_path):
+        path = save_dataset(tiny_dataset, tmp_path / "tiny.npz")
+        loaded = load_saved_dataset(path)
+        np.testing.assert_array_equal(loaded.adjacency, tiny_dataset.adjacency)
+        assert loaded.num_sensors == tiny_dataset.num_sensors
+        original = tiny_dataset.network.sensors[0]
+        restored = loaded.network.sensors[0]
+        assert restored.corridor == original.corridor
+        assert restored.direction == original.direction
+        assert loaded.network.graph.number_of_edges() == int((tiny_dataset.adjacency > 0).sum())
+
+    def test_metadata_preserved(self, tiny_dataset, tmp_path):
+        loaded = load_saved_dataset(save_dataset(tiny_dataset, tmp_path / "tiny.npz"))
+        assert loaded.name == tiny_dataset.name
+        assert loaded.profile == tiny_dataset.profile
+
+    def test_corridor_membership_survives(self, tiny_dataset, tmp_path):
+        loaded = load_saved_dataset(save_dataset(tiny_dataset, tmp_path / "tiny.npz"))
+        assert loaded.network.corridor_members(0, 0) == tiny_dataset.network.corridor_members(0, 0)
+
+
+class TestCsvExport:
+    def test_export(self, tiny_dataset, tmp_path):
+        path = export_sensor_csv(tiny_dataset, 0, tmp_path / "sensor0.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "step,flow"
+        assert len(lines) == tiny_dataset.train_raw.shape[1] + 1
+
+    def test_unknown_split_raises(self, tiny_dataset, tmp_path):
+        with pytest.raises(KeyError):
+            export_sensor_csv(tiny_dataset, 0, tmp_path / "x.csv", split="holdout")
+
+    def test_values_match(self, tiny_dataset, tmp_path):
+        path = export_sensor_csv(tiny_dataset, 1, tmp_path / "sensor1.csv", split="test")
+        lines = path.read_text().strip().splitlines()[1:]
+        first = float(lines[0].split(",")[1])
+        np.testing.assert_allclose(first, tiny_dataset.test_raw[1, 0, 0])

@@ -1,0 +1,91 @@
+"""Scalers: statistics, round trips, leakage discipline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data import MinMaxScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros(3))
+        with pytest.raises(RuntimeError):
+            StandardScaler().inverse_transform(np.zeros(3))
+
+    def test_transform_standardizes(self, rng):
+        data = rng.standard_normal((10, 100, 1)) * 7 + 3
+        out = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(out.mean(), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.std(), 1.0, atol=1e-12)
+
+    def test_roundtrip(self, rng):
+        data = rng.standard_normal((4, 50, 1)) * 3 + 10
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data, atol=1e-12)
+
+    def test_constant_data_does_not_divide_by_zero(self):
+        scaler = StandardScaler().fit(np.full((3, 4), 5.0))
+        out = scaler.transform(np.full((3, 4), 5.0))
+        assert np.all(np.isfinite(out))
+
+    def test_statistics_frozen_after_fit(self, rng):
+        """Transforming new (test) data must reuse training statistics."""
+        train = rng.standard_normal(1000)
+        scaler = StandardScaler().fit(train)
+        shifted = train + 100
+        out = scaler.transform(shifted)
+        np.testing.assert_allclose(out.mean(), 100 / scaler.std + train.mean() * 0, atol=1.0)
+        assert out.mean() > 50  # clearly not re-standardized
+
+
+class TestMinMaxScaler:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros(3))
+
+    def test_range(self, rng):
+        data = rng.standard_normal((5, 40)) * 9
+        out = MinMaxScaler().fit_transform(data)
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_roundtrip(self, rng):
+        data = rng.standard_normal((5, 40))
+        scaler = MinMaxScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data, atol=1e-12)
+
+    def test_constant_data(self):
+        scaler = MinMaxScaler().fit(np.full(5, 2.0))
+        assert np.all(np.isfinite(scaler.transform(np.full(5, 2.0))))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(2, 5), st.integers(2, 20)),
+        elements=st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+    )
+)
+def test_standard_scaler_roundtrip_property(data):
+    scaler = StandardScaler().fit(data)
+    recovered = scaler.inverse_transform(scaler.transform(data))
+    np.testing.assert_allclose(recovered, data, atol=1e-6 * (1 + np.abs(data).max()))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(2, 5), st.integers(2, 20)),
+        elements=st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+    )
+)
+def test_minmax_scaler_bounds_property(data):
+    out = MinMaxScaler().fit_transform(data)
+    assert out.min() >= -1e-9 and out.max() <= 1.0 + 1e-9

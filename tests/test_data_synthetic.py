@@ -1,0 +1,146 @@
+"""The traffic simulator must generate the structure the paper exploits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    STEPS_PER_DAY,
+    SyntheticTrafficConfig,
+    TrafficSimulator,
+    generate_traffic,
+)
+from repro.data.graph_gen import generate_road_network
+
+
+@pytest.fixture(scope="module")
+def simulated():
+    config = SyntheticTrafficConfig(num_sensors=16, num_days=14, num_corridors=4, seed=11)
+    simulator = TrafficSimulator(config)
+    return simulator, simulator.generate()
+
+
+class TestRoadNetwork:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_road_network(1)
+        with pytest.raises(ValueError):
+            generate_road_network(10, num_corridors=0)
+
+    def test_sensor_count_and_metadata(self):
+        net = generate_road_network(20, num_corridors=3, seed=0)
+        assert net.num_sensors == 20
+        assert {s.direction for s in net.sensors} <= {0, 1}
+        assert {s.corridor for s in net.sensors} <= set(range(3))
+
+    def test_corridor_chains_are_connected(self):
+        net = generate_road_network(24, num_corridors=2, seed=0)
+        chain = net.corridor_members(0, 0)
+        assert len(chain) >= 2
+        for upstream, downstream in zip(chain[:-1], chain[1:]):
+            assert net.adjacency[upstream, downstream] > 0
+
+    def test_adjacency_is_directed_chain(self):
+        net = generate_road_network(24, num_corridors=2, seed=0, interchange_probability=0.0)
+        chain = net.corridor_members(1, 1)
+        # downstream -> upstream edges must not exist without interchanges
+        for upstream, downstream in zip(chain[:-1], chain[1:]):
+            assert net.adjacency[downstream, upstream] == 0
+
+    def test_deterministic_given_seed(self):
+        a = generate_road_network(12, seed=5).adjacency
+        b = generate_road_network(12, seed=5).adjacency
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTrafficGeneration:
+    def test_output_shape_and_nonnegative(self, simulated):
+        _, flows = simulated
+        assert flows.shape == (16, 14 * STEPS_PER_DAY, 1)
+        assert flows.min() >= 0.0
+
+    def test_flow_magnitude_matches_pems_range(self, simulated):
+        _, flows = simulated
+        assert 30 < flows.mean() < 400  # vehicles / 5 min, PEMS-like
+        assert flows.max() < 1500
+
+    def test_weekday_weekend_regimes_differ(self, simulated):
+        """Fig 1: weekend patterns differ from weekday patterns."""
+        _, flows = simulated
+        series = flows[0, :, 0]
+        days = series.reshape(14, STEPS_PER_DAY)
+        weekday = days[[0, 1, 2, 3, 4, 7, 8]].mean(axis=0)
+        weekend = days[[5, 6, 12, 13]].mean(axis=0)
+        correlation = np.corrcoef(weekday, weekend)[0, 1]
+        assert correlation < 0.95  # regimes are genuinely different
+
+    def test_weekday_profile_repeats(self, simulated):
+        """Same weekday across weeks should be highly correlated."""
+        _, flows = simulated
+        series = flows[0, :, 0]
+        days = series.reshape(14, STEPS_PER_DAY)
+        correlation = np.corrcoef(days[0], days[7])[0, 1]  # two Mondays
+        assert correlation > 0.9
+
+    def test_same_corridor_more_correlated_than_cross(self, simulated):
+        """Fig 1: sensors on the same street share patterns."""
+        simulator, flows = simulated
+        same = simulator.network.corridor_members(0, 0)
+        other = simulator.network.corridor_members(1, 0)
+        same_corr = np.corrcoef(flows[same[0], :, 0], flows[same[1], :, 0])[0, 1]
+        cross_corr = np.corrcoef(flows[same[0], :, 0], flows[other[0], :, 0])[0, 1]
+        assert same_corr > cross_corr
+
+    def test_directions_have_asymmetric_peaks(self):
+        """Inbound peaks in the morning, outbound in the evening."""
+        config = SyntheticTrafficConfig(
+            num_sensors=8, num_days=7, num_corridors=2, seed=3, noise_std=0.0,
+            incident_rate_per_day=0.0,
+        )
+        simulator = TrafficSimulator(config)
+        flows = simulator.generate()
+        inbound = simulator.network.corridor_members(0, 0)[0]
+        outbound = simulator.network.corridor_members(0, 1)[0]
+        day = slice(0, STEPS_PER_DAY)  # a weekday
+        am = slice(6 * 12, 10 * 12)
+        pm = slice(15 * 12, 19 * 12)
+        inbound_day = flows[inbound, day, 0]
+        outbound_day = flows[outbound, day, 0]
+        assert inbound_day[am].mean() > inbound_day[pm].mean()
+        assert outbound_day[pm].mean() > outbound_day[am].mean()
+
+    def test_propagation_creates_lagged_correlation(self):
+        config = SyntheticTrafficConfig(
+            num_sensors=8, num_days=7, num_corridors=1, seed=3, noise_std=2.0,
+            propagation_strength=0.5, incident_rate_per_day=0.0,
+        )
+        simulator = TrafficSimulator(config)
+        flows = simulator.generate()
+        chain = simulator.network.corridor_members(0, 0)
+        upstream, downstream = flows[chain[0], :, 0], flows[chain[1], :, 0]
+        lag = config.propagation_lag
+        lagged = np.corrcoef(upstream[:-lag], downstream[lag:])[0, 1]
+        assert lagged > 0.9
+
+    def test_incidents_cause_local_drops(self):
+        quiet = SyntheticTrafficConfig(
+            num_sensors=8, num_days=7, num_corridors=2, seed=5, incident_rate_per_day=0.0, noise_std=0.0
+        )
+        busy = SyntheticTrafficConfig(
+            num_sensors=8, num_days=7, num_corridors=2, seed=5, incident_rate_per_day=3.0, noise_std=0.0
+        )
+        base = TrafficSimulator(quiet).generate()
+        with_incidents = TrafficSimulator(busy).generate()
+        assert with_incidents.sum() < base.sum()  # incidents remove flow
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticTrafficConfig(num_sensors=6, num_days=3, seed=9)
+        a, _ = generate_traffic(config)
+        b, _ = generate_traffic(config)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a, _ = generate_traffic(SyntheticTrafficConfig(num_sensors=6, num_days=3, seed=1))
+        b, _ = generate_traffic(SyntheticTrafficConfig(num_sensors=6, num_days=3, seed=2))
+        assert not np.allclose(a, b)

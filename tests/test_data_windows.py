@@ -1,0 +1,158 @@
+"""Sliding windows, chronological splits, batch iteration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BatchIterator, SlidingWindowDataset, WindowSpec, chronological_split
+
+
+def make_series(n=3, t=60, f=1):
+    """Series whose value encodes its own (sensor, time) index."""
+    data = np.zeros((n, t, f))
+    for i in range(n):
+        data[i, :, 0] = i * 1000 + np.arange(t)
+    return data
+
+
+class TestWindowSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowSpec(0, 5)
+        with pytest.raises(ValueError):
+            WindowSpec(5, 0)
+
+
+class TestSlidingWindowDataset:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDataset(np.zeros((3, 60)), WindowSpec(5, 5))
+
+    def test_rejects_too_short_series(self):
+        with pytest.raises(ValueError, match="too short"):
+            SlidingWindowDataset(np.zeros((3, 9, 1)), WindowSpec(5, 5))
+
+    def test_rejects_mismatched_raw(self):
+        with pytest.raises(ValueError, match="raw"):
+            SlidingWindowDataset(np.zeros((3, 20, 1)), WindowSpec(5, 5), raw=np.zeros((3, 19, 1)))
+
+    def test_sample_count_matches_eq1(self):
+        """Valid anchors: H-1 .. T-U-1 -> T - H - U + 1 samples (Eq. 1)."""
+        dataset = SlidingWindowDataset(make_series(t=60), WindowSpec(12, 12))
+        assert len(dataset) == 60 - 12 - 12 + 1
+
+    def test_history_and_target_are_contiguous(self):
+        dataset = SlidingWindowDataset(make_series(), WindowSpec(5, 3))
+        x, y = dataset[0]
+        np.testing.assert_array_equal(x[0, :, 0], np.arange(5))
+        np.testing.assert_array_equal(y[0, :, 0], np.arange(5, 8))
+
+    def test_last_window_reaches_series_end(self):
+        data = make_series(t=30)
+        dataset = SlidingWindowDataset(data, WindowSpec(5, 3))
+        x, y = dataset[len(dataset) - 1]
+        assert y[0, -1, 0] == data[0, -1, 0]
+
+    def test_raw_targets_returned(self):
+        scaled = make_series() / 100.0
+        raw = make_series()
+        dataset = SlidingWindowDataset(scaled, WindowSpec(5, 3), raw=raw)
+        x, y = dataset[0]
+        np.testing.assert_array_equal(y[0, :, 0], np.arange(5, 8))  # raw units
+        np.testing.assert_allclose(x[0, :, 0], np.arange(5) / 100.0)  # scaled
+
+    def test_batch_sample_shapes(self):
+        dataset = SlidingWindowDataset(make_series(n=4), WindowSpec(6, 2))
+        x, y = dataset.sample(np.array([0, 3, 7]))
+        assert x.shape == (3, 4, 6, 1)
+        assert y.shape == (3, 4, 2, 1)
+
+
+class TestChronologicalSplit:
+    def test_fractions_validated(self):
+        data = make_series()
+        with pytest.raises(ValueError):
+            chronological_split(data, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            chronological_split(data, train_fraction=0.8, val_fraction=0.3)
+
+    def test_paper_fractions(self):
+        data = make_series(t=100)
+        train, val, test = chronological_split(data)
+        assert train.shape[1] == 60 and val.shape[1] == 20 and test.shape[1] == 20
+
+    def test_chronological_order_preserved(self):
+        data = make_series(t=100)
+        train, val, test = chronological_split(data)
+        assert train[0, -1, 0] < val[0, 0, 0] < test[0, 0, 0]
+
+    def test_no_overlap_and_full_coverage(self):
+        data = make_series(t=97)
+        train, val, test = chronological_split(data)
+        joined = np.concatenate([train, val, test], axis=1)
+        np.testing.assert_array_equal(joined, data)
+
+
+class TestBatchIterator:
+    def test_batch_size_validated(self):
+        dataset = SlidingWindowDataset(make_series(), WindowSpec(5, 3))
+        with pytest.raises(ValueError):
+            BatchIterator(dataset, batch_size=0)
+
+    def test_covers_every_sample_once(self):
+        dataset = SlidingWindowDataset(make_series(t=40), WindowSpec(5, 3))
+        iterator = BatchIterator(dataset, batch_size=7, shuffle=True, rng=np.random.default_rng(0))
+        seen = []
+        for x, _ in iterator:
+            seen.extend(x[:, 0, 0, 0].tolist())  # first history value identifies the anchor
+        assert len(seen) == len(dataset)
+        assert len(set(seen)) == len(dataset)
+
+    def test_len_accounts_for_max_batches(self):
+        dataset = SlidingWindowDataset(make_series(t=40), WindowSpec(5, 3))
+        assert len(BatchIterator(dataset, batch_size=7)) == int(np.ceil(len(dataset) / 7))
+        assert len(BatchIterator(dataset, batch_size=7, max_batches=2)) == 2
+
+    def test_max_batches_respected(self):
+        dataset = SlidingWindowDataset(make_series(t=40), WindowSpec(5, 3))
+        batches = list(BatchIterator(dataset, batch_size=4, max_batches=3))
+        assert len(batches) == 3
+
+    def test_no_shuffle_is_sequential(self):
+        dataset = SlidingWindowDataset(make_series(t=40), WindowSpec(5, 3))
+        x, _ = next(iter(BatchIterator(dataset, batch_size=4, shuffle=False)))
+        np.testing.assert_array_equal(x[:, 0, 0, 0], [0, 1, 2, 3])
+
+    def test_shuffle_deterministic_by_rng(self):
+        dataset = SlidingWindowDataset(make_series(t=40), WindowSpec(5, 3))
+        a = next(iter(BatchIterator(dataset, batch_size=4, rng=np.random.default_rng(3))))[0]
+        b = next(iter(BatchIterator(dataset, batch_size=4, rng=np.random.default_rng(3))))[0]
+        np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    history=st.integers(1, 8),
+    horizon=st.integers(1, 8),
+    extra=st.integers(0, 30),
+)
+def test_window_count_property(history, horizon, extra):
+    """For any H, U, T: number of windows is T - H - U + 1."""
+    total = history + horizon + extra
+    data = np.zeros((2, total, 1))
+    dataset = SlidingWindowDataset(data, WindowSpec(history, horizon))
+    assert len(dataset) == extra + 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(history=st.integers(2, 6), horizon=st.integers(1, 4), anchor=st.integers(0, 20))
+def test_window_contiguity_property(history, horizon, anchor):
+    """x ends exactly where y begins, for every anchor."""
+    total = history + horizon + 25
+    data = np.arange(total, dtype=float).reshape(1, total, 1)
+    dataset = SlidingWindowDataset(data, WindowSpec(history, horizon))
+    x, y = dataset[anchor]
+    assert y[0, 0, 0] == x[0, -1, 0] + 1

@@ -1,0 +1,56 @@
+"""EXPERIMENTS.md splicing tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.summary import collect_results, splice_results
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "table8.txt").write_text("== table8 ==\nMAE 1.0\n")
+    (directory / "figure9.txt").write_text("== figure9 ==\npurity 0.9\n")
+    return directory
+
+
+@pytest.fixture
+def experiments_md(tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    path.write_text(
+        "## Table VIII\n<!-- TABLE8_MEASURED -->\n\n"
+        "## Figure 9\n<!-- FIGURE9_MEASURED -->\n\n"
+        "## Table IV\n<!-- TABLE4_MEASURED -->\n"
+    )
+    return path
+
+
+class TestCollect:
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_results(tmp_path / "nope")
+
+    def test_collects_stems(self, results_dir):
+        results = collect_results(results_dir)
+        assert set(results) == {"table8", "figure9"}
+
+
+class TestSplice:
+    def test_splices_available_results(self, experiments_md, results_dir):
+        count = splice_results(experiments_md, results_dir)
+        assert count == 2
+        text = experiments_md.read_text()
+        assert "MAE 1.0" in text
+        assert "purity 0.9" in text
+        assert "<!-- TABLE4_MEASURED -->" in text  # missing result left alone
+
+    def test_resplice_replaces_not_duplicates(self, experiments_md, results_dir):
+        splice_results(experiments_md, results_dir)
+        (results_dir / "table8.txt").write_text("== table8 ==\nMAE 2.0\n")
+        splice_results(experiments_md, results_dir)
+        text = experiments_md.read_text()
+        assert "MAE 2.0" in text
+        assert "MAE 1.0" not in text
+        assert text.count("<!-- TABLE8_MEASURED -->") == 1

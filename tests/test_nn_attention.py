@@ -1,0 +1,101 @@
+"""Canonical multi-head attention and sliding-window attention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.attention import merge_heads, split_heads
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import check_gradients
+
+
+class TestHeadSplitting:
+    def test_roundtrip(self, rng):
+        x = Tensor(rng.standard_normal((2, 5, 8)))
+        back = merge_heads(split_heads(x, 4))
+        np.testing.assert_array_equal(back.numpy(), x.numpy())
+
+    def test_shapes(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 5, 8)))
+        assert split_heads(x, 2).shape == (2, 3, 2, 5, 4)
+
+
+class TestMultiHeadSelfAttention:
+    def test_indivisible_heads_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(4, 10, num_heads=3, rng=rng)
+
+    @pytest.mark.parametrize("heads", [1, 2, 4])
+    def test_output_shape(self, heads, rng):
+        layer = nn.MultiHeadSelfAttention(3, 8, num_heads=heads, rng=rng)
+        assert layer(Tensor(rng.standard_normal((2, 6, 3)))).shape == (2, 6, 8)
+
+    def test_extra_leading_dims(self, rng):
+        layer = nn.MultiHeadSelfAttention(3, 8, num_heads=2, rng=rng)
+        assert layer(Tensor(rng.standard_normal((2, 4, 6, 3)))).shape == (2, 4, 6, 8)
+
+    def test_gradients(self, rng):
+        layer = nn.MultiHeadSelfAttention(3, 4, num_heads=2, rng=rng)
+        x = Tensor(rng.standard_normal((1, 5, 3)), requires_grad=True)
+        check_gradients(lambda x_: layer(x_), [x])
+
+    def test_permutation_equivariance(self, rng):
+        """Self-attention without positions is permutation-equivariant."""
+        layer = nn.MultiHeadSelfAttention(3, 8, num_heads=2, rng=rng)
+        x = rng.standard_normal((1, 6, 3))
+        perm = rng.permutation(6)
+        out = layer(Tensor(x)).numpy()
+        out_permuted = layer(Tensor(x[:, perm])).numpy()
+        np.testing.assert_allclose(out[:, perm], out_permuted, atol=1e-10)
+
+    def test_shared_parameters_are_spatio_temporal_agnostic(self, rng):
+        """The same projections apply to every 'sensor' slice — the paper's
+        motivating deficiency of canonical attention."""
+        layer = nn.MultiHeadSelfAttention(3, 8, num_heads=2, rng=rng)
+        x = rng.standard_normal((1, 6, 3))
+        batch = np.stack([x[0], x[0]])  # two identical "sensors"
+        out = layer(Tensor(batch)).numpy()
+        np.testing.assert_allclose(out[0], out[1], atol=1e-12)
+
+
+class TestSlidingWindowAttention:
+    def test_invalid_window_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.SlidingWindowSelfAttention(3, 8, window=0, rng=rng)
+
+    def test_output_shape(self, rng):
+        layer = nn.SlidingWindowSelfAttention(3, 8, window=2, num_heads=2, rng=rng)
+        assert layer(Tensor(rng.standard_normal((2, 9, 3)))).shape == (2, 9, 8)
+
+    def test_locality_is_enforced(self, rng):
+        """Perturbing a timestamp outside the window must not change the
+        output at a distant position."""
+        layer = nn.SlidingWindowSelfAttention(3, 8, window=1, num_heads=1, rng=rng)
+        x = rng.standard_normal((1, 10, 3))
+        base = layer(Tensor(x)).numpy()
+        perturbed = x.copy()
+        perturbed[0, 9] += 100.0
+        out = layer(Tensor(perturbed)).numpy()
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-8)
+        assert not np.allclose(out[0, 9], base[0, 9])
+
+    def test_full_window_matches_canonical(self, rng):
+        """With window >= H the band mask is all-pass: results equal the
+        canonical inner attention."""
+        layer = nn.SlidingWindowSelfAttention(3, 8, window=20, num_heads=2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 6, 3)))
+        np.testing.assert_allclose(layer(x).numpy(), layer.inner(x).numpy(), atol=1e-9)
+
+    def test_gradients(self, rng):
+        layer = nn.SlidingWindowSelfAttention(2, 4, window=1, num_heads=1, rng=rng)
+        x = Tensor(rng.standard_normal((1, 5, 2)), requires_grad=True)
+        check_gradients(lambda x_: layer(x_), [x])
+
+    def test_mask_cache_reused(self, rng):
+        layer = nn.SlidingWindowSelfAttention(3, 8, window=2, rng=rng)
+        layer(Tensor(rng.standard_normal((1, 7, 3))))
+        first = layer._mask_cache[7]
+        layer(Tensor(rng.standard_normal((1, 7, 3))))
+        assert layer._mask_cache[7] is first

@@ -1,0 +1,78 @@
+"""Causal dilated temporal convolutions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import check_gradients
+
+
+class TestCausalConv1d:
+    def test_invalid_params_raise(self, rng):
+        with pytest.raises(ValueError):
+            nn.CausalConv1d(2, 2, kernel_size=0, rng=rng)
+        with pytest.raises(ValueError):
+            nn.CausalConv1d(2, 2, dilation=0, rng=rng)
+
+    def test_length_preserved(self, rng):
+        conv = nn.CausalConv1d(3, 5, kernel_size=3, dilation=2, rng=rng)
+        assert conv(Tensor(rng.standard_normal((2, 4, 10, 3)))).shape == (2, 4, 10, 5)
+
+    def test_causality(self, rng):
+        """Output at time t must not depend on inputs after t."""
+        conv = nn.CausalConv1d(1, 1, kernel_size=2, dilation=1, rng=rng)
+        x = rng.standard_normal((1, 8, 1))
+        base = conv(Tensor(x)).numpy()
+        perturbed = x.copy()
+        perturbed[0, 5] += 100.0
+        out = conv(Tensor(perturbed)).numpy()
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-12)
+        assert not np.allclose(out[0, 5], base[0, 5])
+
+    def test_receptive_field(self, rng):
+        conv = nn.CausalConv1d(1, 1, kernel_size=3, dilation=4, rng=rng)
+        assert conv.receptive_field == 9
+
+    def test_kernel_one_is_pointwise(self, rng):
+        conv = nn.CausalConv1d(3, 2, kernel_size=1, rng=rng)
+        x = rng.standard_normal((1, 5, 3))
+        expected = x @ conv.weight.numpy()[0] + conv.bias.numpy()
+        np.testing.assert_allclose(conv(Tensor(x)).numpy(), expected)
+
+    def test_matches_manual_convolution(self, rng):
+        conv = nn.CausalConv1d(1, 1, kernel_size=2, dilation=1, bias=False, rng=rng)
+        w = conv.weight.numpy()[:, 0, 0]  # (kernel,)
+        x = rng.standard_normal(6)
+        out = conv(Tensor(x.reshape(1, 6, 1))).numpy()[0, :, 0]
+        padded = np.concatenate([[0.0], x])
+        expected = np.array([w[0] * padded[t] + w[1] * padded[t + 1] for t in range(6)])
+        np.testing.assert_allclose(out, expected)
+
+    def test_gradients(self, rng):
+        conv = nn.CausalConv1d(2, 3, kernel_size=2, dilation=2, rng=rng)
+        x = Tensor(rng.standard_normal((1, 6, 2)), requires_grad=True)
+        check_gradients(lambda x_: conv(x_), [x])
+        check_gradients(lambda w: conv(x.detach()), [conv.weight])
+
+    def test_no_bias(self, rng):
+        conv = nn.CausalConv1d(2, 3, bias=False, rng=rng)
+        assert conv.bias is None
+
+
+class TestGatedTemporalConv:
+    def test_output_shape(self, rng):
+        gated = nn.GatedTemporalConv(3, 5, kernel_size=2, rng=rng)
+        assert gated(Tensor(rng.standard_normal((2, 7, 3)))).shape == (2, 7, 5)
+
+    def test_output_bounded_by_tanh_gate(self, rng):
+        gated = nn.GatedTemporalConv(3, 5, rng=rng)
+        out = gated(Tensor(rng.standard_normal((2, 7, 3)) * 10)).numpy()
+        assert np.all(np.abs(out) <= 1.0 + 1e-9)
+
+    def test_gradients(self, rng):
+        gated = nn.GatedTemporalConv(2, 3, rng=rng)
+        x = Tensor(rng.standard_normal((1, 5, 2)), requires_grad=True)
+        check_gradients(lambda x_: gated(x_), [x])

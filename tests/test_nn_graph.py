@@ -1,0 +1,108 @@
+"""Graph convolutions and adjacency utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.graph import normalized_adjacency, random_walk_matrix, scaled_laplacian
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import check_gradients
+
+
+@pytest.fixture
+def adj(rng):
+    a = (rng.random((6, 6)) < 0.4).astype(float)
+    a = np.maximum(a, a.T)
+    np.fill_diagonal(a, 0)
+    a[0, 1] = a[1, 0] = 1.0  # guarantee at least one edge
+    return a
+
+
+class TestAdjacencyUtilities:
+    def test_normalized_adjacency_symmetric(self, adj):
+        out = normalized_adjacency(adj)
+        np.testing.assert_allclose(out, out.T, atol=1e-12)
+
+    def test_normalized_adjacency_spectrum_bounded(self, adj):
+        eig = np.linalg.eigvalsh(normalized_adjacency(adj))
+        assert eig.max() <= 1.0 + 1e-9
+
+    def test_isolated_node_handled(self):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        out = normalized_adjacency(adj, add_self_loops=False)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[2], 0.0)
+
+    def test_random_walk_rows_sum_to_one(self, adj):
+        walk = random_walk_matrix(adj)
+        row_sums = walk.sum(axis=1)
+        connected = adj.sum(axis=1) > 0
+        np.testing.assert_allclose(row_sums[connected], 1.0)
+
+    def test_scaled_laplacian_spectrum_in_unit_ball(self, adj):
+        eig = np.linalg.eigvalsh(scaled_laplacian(adj))
+        assert eig.min() >= -1.0 - 1e-9 and eig.max() <= 1.0 + 1e-9
+
+
+class TestGraphConvLayers:
+    def test_graphconv_shape_and_grad(self, adj, rng):
+        layer = nn.GraphConv(3, 5, adj, rng=rng)
+        x = Tensor(rng.standard_normal((2, 6, 3)), requires_grad=True)
+        assert layer(x).shape == (2, 6, 5)
+        check_gradients(lambda x_: layer(x_), [x])
+
+    def test_graphconv_mixes_neighbours(self, rng):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        layer = nn.GraphConv(1, 1, adj, rng=rng)
+        x = np.zeros((1, 3, 1))
+        x[0, 1, 0] = 1.0
+        out = layer(Tensor(x)).numpy() - layer.bias.numpy()
+        assert abs(out[0, 0, 0]) > 1e-9  # neighbour influenced
+        assert abs(out[0, 2, 0]) < 1e-12  # isolated node untouched
+
+    def test_cheb_order_validation(self, adj, rng):
+        with pytest.raises(ValueError):
+            nn.ChebGraphConv(3, 5, adj, order=0, rng=rng)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_cheb_shapes_and_grad(self, order, adj, rng):
+        layer = nn.ChebGraphConv(3, 4, adj, order=order, rng=rng)
+        x = Tensor(rng.standard_normal((2, 6, 3)), requires_grad=True)
+        assert layer(x).shape == (2, 6, 4)
+        check_gradients(lambda x_: layer(x_), [x])
+
+    def test_diffusion_steps_validation(self, adj, rng):
+        with pytest.raises(ValueError):
+            nn.DiffusionGraphConv(3, 5, adj, steps=0, rng=rng)
+
+    def test_diffusion_shape_grad_and_weight_count(self, adj, rng):
+        layer = nn.DiffusionGraphConv(3, 4, adj, steps=2, rng=rng)
+        assert len(layer.weights) == 5  # identity + 2 directions * 2 steps
+        x = Tensor(rng.standard_normal((2, 6, 3)), requires_grad=True)
+        assert layer(x).shape == (2, 6, 4)
+        check_gradients(lambda x_: layer(x_), [x])
+
+    def test_adaptive_adjacency_is_row_stochastic(self, rng):
+        layer = nn.AdaptiveAdjacency(7, embed_dim=4, rng=rng)
+        adj = layer().numpy()
+        assert adj.shape == (7, 7)
+        np.testing.assert_allclose(adj.sum(axis=1), 1.0)
+
+    def test_node_adaptive_per_node_weights_differ(self, rng):
+        """The AGCRN mechanism: two nodes with identical inputs produce
+        different outputs because their generated weights differ."""
+        layer = nn.NodeAdaptiveGraphConv(2, 3, num_nodes=4, embed_dim=3, rng=rng)
+        x = np.zeros((1, 4, 2))
+        x[:, :, :] = 1.0  # identical features on every node
+        out = layer(Tensor(x)).numpy()[0]
+        assert not np.allclose(out[0], out[1])
+
+    def test_node_adaptive_gradients(self, rng):
+        layer = nn.NodeAdaptiveGraphConv(2, 3, num_nodes=4, embed_dim=3, rng=rng)
+        x = Tensor(rng.standard_normal((1, 4, 2)), requires_grad=True)
+        check_gradients(lambda x_: layer(x_), [x])
+        check_gradients(lambda e: layer(x.detach()), [layer.node_embed])

@@ -1,0 +1,160 @@
+"""Linear, MLP, LayerNorm, BatchNorm, Dropout, initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import init
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import check_gradients
+
+
+class TestLinear:
+    def test_output_shape_arbitrary_leading_dims(self, rng):
+        layer = nn.Linear(4, 7, rng=rng)
+        assert layer(Tensor(rng.standard_normal((2, 3, 5, 4)))).shape == (2, 3, 5, 7)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 7, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer.num_parameters() == 28
+
+    def test_gradients_input_and_weights(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        check_gradients(lambda x_: layer(x_), [x])
+        check_gradients(lambda w: layer(x.detach()), [layer.weight])
+        check_gradients(lambda b: layer(x.detach()), [layer.bias])
+
+    def test_matches_numpy(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = rng.standard_normal((5, 3))
+        expected = x @ layer.weight.numpy() + layer.bias.numpy()
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), expected)
+
+
+class TestMLP:
+    def test_requires_two_sizes(self, rng):
+        with pytest.raises(ValueError):
+            nn.MLP([4], rng=rng)
+
+    def test_unknown_activation_raises(self, rng):
+        with pytest.raises(ValueError, match="activation"):
+            nn.MLP([4, 2], activation="nope", rng=rng)
+        with pytest.raises(ValueError, match="final"):
+            nn.MLP([4, 2], final_activation="nope", rng=rng)
+
+    def test_depth_and_shapes(self, rng):
+        mlp = nn.MLP([4, 8, 8, 2], rng=rng)
+        assert len(mlp.layers) == 3
+        assert mlp(Tensor(rng.standard_normal((6, 4)))).shape == (6, 2)
+
+    def test_final_activation_applied(self, rng):
+        mlp = nn.MLP([4, 8, 2], final_activation="sigmoid", rng=rng)
+        out = mlp(Tensor(rng.standard_normal((6, 4)))).numpy()
+        assert np.all((out > 0) & (out < 1))
+
+    def test_gradients(self, rng):
+        mlp = nn.MLP([3, 5, 2], activation="tanh", rng=rng)
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        check_gradients(lambda x_: mlp(x_), [x])
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        layer = nn.LayerNorm(8)
+        out = layer(Tensor(rng.standard_normal((4, 8)) * 5 + 3)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-4)
+
+    def test_affine_parameters_used(self, rng):
+        layer = nn.LayerNorm(4)
+        layer.gamma.data[:] = 2.0
+        layer.beta.data[:] = 1.0
+        out = layer(Tensor(rng.standard_normal((3, 4)))).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-9)
+
+    def test_gradients(self, rng):
+        layer = nn.LayerNorm(5)
+        x = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        check_gradients(lambda x_: layer(x_), [x])
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self, rng):
+        layer = nn.BatchNorm1d(4)
+        out = layer(Tensor(rng.standard_normal((64, 4)) * 3 + 2)).numpy()
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = nn.BatchNorm1d(4)
+        for _ in range(50):
+            layer(Tensor(rng.standard_normal((32, 4)) * 3 + 2))
+        layer.eval()
+        out = layer(Tensor(np.full((2, 4), 2.0))).numpy()
+        np.testing.assert_allclose(out, 0.0, atol=0.5)
+
+
+class TestDropout:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_identity_in_eval_mode(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.standard_normal((10, 10))
+        np.testing.assert_array_equal(layer(Tensor(x)).numpy(), x)
+
+    def test_zero_probability_is_identity(self, rng):
+        layer = nn.Dropout(0.0, rng=rng)
+        x = rng.standard_normal((10, 10))
+        np.testing.assert_array_equal(layer(Tensor(x)).numpy(), x)
+
+    def test_expected_value_preserved(self):
+        layer = nn.Dropout(0.4, rng=np.random.default_rng(0))
+        x = np.ones((200, 200))
+        out = layer(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(), 1.0, atol=0.02)
+
+    def test_mask_applied_to_gradient(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((10, 10)), requires_grad=True)
+        out = layer(x)
+        out.sum().backward()
+        np.testing.assert_array_equal((x.grad != 0), (out.numpy() != 0))
+
+
+class TestActivationsModules:
+    @pytest.mark.parametrize("layer_cls", [nn.ReLU, nn.Tanh, nn.Sigmoid])
+    def test_shapes(self, layer_cls, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        assert layer_cls()(x).shape == (3, 4)
+
+    def test_leaky_relu_negative_slope(self):
+        out = nn.LeakyReLU(0.1)(Tensor(np.array([-10.0, 10.0]))).numpy()
+        np.testing.assert_allclose(out, [-1.0, 10.0])
+
+
+class TestInitializers:
+    def test_xavier_uniform_bound(self, rng):
+        w = init.xavier_uniform((100, 200), rng)
+        bound = np.sqrt(6.0 / 300)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_normal_std(self, rng):
+        w = init.xavier_normal((400, 400), rng)
+        np.testing.assert_allclose(w.std(), np.sqrt(2.0 / 800), rtol=0.1)
+
+    def test_kaiming_uniform_bound(self, rng):
+        w = init.kaiming_uniform((100, 50), rng)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 100)
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3, 4)), np.zeros((3, 4)))
+
+    def test_3d_fans(self, rng):
+        w = init.xavier_uniform((2, 10, 20), rng)
+        assert w.shape == (2, 10, 20)

@@ -1,0 +1,126 @@
+"""Module system: registration, traversal, modes, state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, ModuleList, Parameter, ParameterList, Sequential
+from repro.tensor import Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 3)))
+        self.child = nn.Linear(3, 2, rng=np.random.default_rng(0))
+
+    def forward(self, x):
+        return self.child(x)
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert set(names) == {"weight", "child.weight", "child.bias"}
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 6 + 6 + 2
+
+    def test_reassignment_replaces_entry(self):
+        toy = Toy()
+        toy.weight = Parameter(np.zeros((1,)))
+        assert dict(toy.named_parameters())["weight"].size == 1
+
+    def test_modules_iterates_descendants(self):
+        toy = Toy()
+        assert len(list(toy.modules())) == 2
+
+    def test_register_dynamic(self):
+        toy = Toy()
+        toy.register_parameter("extra", Parameter(np.zeros(4)))
+        toy.register_module("extra_module", nn.Linear(2, 2, rng=np.random.default_rng(0)))
+        names = dict(toy.named_parameters())
+        assert "extra" in names and "extra_module.weight" in names
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training and not toy.child.training
+        toy.train()
+        assert toy.training and toy.child.training
+
+    def test_zero_grad_clears_all(self):
+        toy = Toy()
+        x = Tensor(np.ones((4, 3)))
+        toy(x).sum().backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        b.child.weight.data += 1.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(b.child.weight.data, a.child.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["weight"][:] = 99.0
+        assert not np.allclose(toy.weight.data, 99.0)
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["weight"]
+        with pytest.raises(KeyError, match="missing"):
+            toy.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["weight"] = np.zeros((9, 9))
+        with pytest.raises(ValueError, match="shape"):
+            toy.load_state_dict(state)
+
+
+class TestContainers:
+    def test_module_list(self):
+        rng = np.random.default_rng(0)
+        layers = ModuleList([nn.Linear(2, 2, rng=rng), nn.Linear(2, 2, rng=rng)])
+        assert len(layers) == 2
+        assert len(list(layers[0].named_parameters())) == 2
+        assert sum(1 for _ in ModuleList().named_parameters()) == 0
+        with pytest.raises(RuntimeError):
+            layers(Tensor(np.zeros((1, 2))))
+
+    def test_parameter_list(self):
+        plist = ParameterList([Parameter(np.zeros(3)), Parameter(np.zeros(2))])
+        assert len(plist) == 2
+        assert plist[1].size == 2
+        assert len(dict(plist.named_parameters())) == 2
+
+    def test_sequential(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(nn.Linear(3, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng))
+        out = seq(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor(np.zeros(1)))

@@ -1,0 +1,91 @@
+"""GRU / LSTM cells and sequence wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import check_gradients
+
+
+class TestGRUCell:
+    def test_state_shape_preserved(self, rng):
+        cell = nn.GRUCell(3, 5, rng=rng)
+        h = cell(Tensor(rng.standard_normal((4, 3))), Tensor(np.zeros((4, 5))))
+        assert h.shape == (4, 5)
+
+    def test_extra_leading_dims(self, rng):
+        cell = nn.GRUCell(3, 5, rng=rng)
+        h = cell(Tensor(rng.standard_normal((2, 4, 3))), Tensor(np.zeros((2, 4, 5))))
+        assert h.shape == (2, 4, 5)
+
+    def test_gradients(self, rng):
+        cell = nn.GRUCell(3, 4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        h = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        check_gradients(lambda x_, h_: cell(x_, h_), [x, h])
+
+    def test_hidden_bounded_by_tanh_dynamics(self, rng):
+        cell = nn.GRUCell(2, 4, rng=rng)
+        h = Tensor(np.zeros((1, 4)))
+        for _ in range(50):
+            h = cell(Tensor(rng.standard_normal((1, 2)) * 10), h)
+        assert np.all(np.abs(h.numpy()) <= 1.0 + 1e-9)
+
+
+class TestLSTMCell:
+    def test_returns_hidden_and_cell(self, rng):
+        cell = nn.LSTMCell(3, 5, rng=rng)
+        h, c = cell(Tensor(rng.standard_normal((4, 3))), (Tensor(np.zeros((4, 5))), Tensor(np.zeros((4, 5)))))
+        assert h.shape == (4, 5) and c.shape == (4, 5)
+
+    def test_gradients(self, rng):
+        cell = nn.LSTMCell(3, 4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        h0 = Tensor(np.zeros((2, 4)))
+        c0 = Tensor(np.zeros((2, 4)))
+        check_gradients(lambda x_: cell(x_, (h0, c0))[0], [x])
+
+
+class TestSequenceWrappers:
+    def test_gru_outputs_every_step(self, rng):
+        gru = nn.GRU(3, 5, rng=rng)
+        outputs, last = gru(Tensor(rng.standard_normal((2, 7, 3))))
+        assert outputs.shape == (2, 7, 5)
+        np.testing.assert_array_equal(outputs.numpy()[:, -1], last.numpy())
+
+    def test_gru_accepts_initial_state(self, rng):
+        gru = nn.GRU(3, 5, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 3)))
+        h0 = Tensor(rng.standard_normal((2, 5)))
+        _, with_state = gru(x, h0)
+        _, without = gru(x)
+        assert not np.allclose(with_state.numpy(), without.numpy())
+
+    def test_gru_gradient_through_time(self, rng):
+        gru = nn.GRU(2, 3, rng=rng)
+        x = Tensor(rng.standard_normal((1, 4, 2)), requires_grad=True)
+        check_gradients(lambda x_: gru(x_)[1], [x])
+
+    def test_lstm_outputs(self, rng):
+        lstm = nn.LSTM(3, 5, rng=rng)
+        outputs, (h, c) = lstm(Tensor(rng.standard_normal((2, 6, 3))))
+        assert outputs.shape == (2, 6, 5)
+        np.testing.assert_array_equal(outputs.numpy()[:, -1], h.numpy())
+
+    def test_sensor_axis_rides_batch(self, rng):
+        """(B, N, T, F) histories work by folding N into leading dims."""
+        gru = nn.GRU(1, 4, rng=rng)
+        outputs, last = gru(Tensor(rng.standard_normal((2, 5, 7, 1))))
+        assert outputs.shape == (2, 5, 7, 4)
+        assert last.shape == (2, 5, 4)
+
+    def test_order_sensitivity(self, rng):
+        """An RNN must be sensitive to input order (unlike bag models)."""
+        gru = nn.GRU(1, 4, rng=rng)
+        x = rng.standard_normal((1, 6, 1))
+        _, forward = gru(Tensor(x))
+        _, reversed_ = gru(Tensor(x[:, ::-1].copy()))
+        assert not np.allclose(forward.numpy(), reversed_.numpy())

@@ -1,0 +1,204 @@
+"""Optimizers, gradient clipping, schedulers, early stopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.optim import (
+    SGD,
+    Adam,
+    ConstantLR,
+    CosineAnnealingLR,
+    EarlyStopping,
+    StepLR,
+    clip_grad_norm,
+)
+from repro.tensor import Tensor, functional as F
+
+
+def quadratic_problem(seed=0):
+    """A convex problem: minimize ||w - target||^2."""
+    rng = np.random.default_rng(seed)
+    w = nn.Parameter(rng.standard_normal(10))
+    target = rng.standard_normal(10)
+    return w, target
+
+
+def loss_of(w, target):
+    diff = w - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_requires_positive_lr(self):
+        w, _ = quadratic_problem()
+        with pytest.raises(ValueError):
+            SGD([w], lr=0.0)
+
+    def test_converges_on_quadratic(self):
+        w, target = quadratic_problem()
+        opt = SGD([w], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_of(w, target).backward()
+            opt.step()
+        np.testing.assert_allclose(w.numpy(), target, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            w, target = quadratic_problem()
+            opt = SGD([w], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                loss = loss_of(w, target)
+                loss.backward()
+                opt.step()
+            losses[momentum] = loss.item()
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks_solution(self):
+        w, target = quadratic_problem()
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_of(w, target).backward()
+            opt.step()
+        assert np.linalg.norm(w.numpy()) < np.linalg.norm(target)
+
+    def test_skips_parameters_without_grad(self):
+        w, target = quadratic_problem()
+        other = nn.Parameter(np.ones(3))
+        opt = SGD([w, other], lr=0.1)
+        opt.zero_grad()
+        loss_of(w, target).backward()
+        opt.step()
+        np.testing.assert_array_equal(other.numpy(), np.ones(3))
+
+
+class TestAdam:
+    def test_invalid_betas(self):
+        w, _ = quadratic_problem()
+        with pytest.raises(ValueError):
+            Adam([w], betas=(1.0, 0.9))
+
+    def test_converges_on_quadratic(self):
+        w, target = quadratic_problem()
+        opt = Adam([w], lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            loss_of(w, target).backward()
+            opt.step()
+        np.testing.assert_allclose(w.numpy(), target, atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        """Adam's bias correction makes the first step ~lr in each coordinate."""
+        w = nn.Parameter(np.array([10.0]))
+        opt = Adam([w], lr=0.1)
+        (w * 1.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(w.numpy(), [10.0 - 0.1], atol=1e-6)
+
+    def test_trains_mlp_regression(self, rng):
+        model = nn.MLP([2, 16, 1], rng=rng)
+        opt = Adam(model.parameters(), lr=0.02)
+        x = Tensor(rng.standard_normal((100, 2)))
+        y = Tensor((x.numpy() ** 2).sum(axis=1, keepdims=True))
+        first = None
+        for _ in range(200):
+            opt.zero_grad()
+            loss = F.mse_loss(model(x), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.1 * first
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradient(self):
+        w = nn.Parameter(np.zeros(4))
+        w.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([w], max_norm=1.0)
+        np.testing.assert_allclose(norm, 20.0)
+        np.testing.assert_allclose(np.linalg.norm(w.grad), 1.0)
+
+    def test_leaves_small_gradient(self):
+        w = nn.Parameter(np.zeros(4))
+        w.grad = np.full(4, 0.01)
+        clip_grad_norm([w], max_norm=1.0)
+        np.testing.assert_allclose(w.grad, 0.01)
+
+    def test_ignores_missing_gradients(self):
+        w = nn.Parameter(np.zeros(4))
+        assert clip_grad_norm([w], max_norm=1.0) == 0.0
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+
+    def test_constant(self):
+        sched = ConstantLR(self._opt())
+        assert sched.step() == 1.0
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.5, 0.5, 0.25])
+
+    def test_step_lr_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            last = sched.step()
+        np.testing.assert_allclose(last, 0.1, atol=1e-9)
+
+    def test_cosine_monotone_decreasing(self):
+        sched = CosineAnnealingLR(self._opt(), total_epochs=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+
+class TestEarlyStopping:
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=3)
+        assert not stopper.update(1.0, 0)
+        assert not stopper.update(1.1, 1)
+        assert not stopper.update(1.2, 2)
+        assert stopper.update(1.3, 3)
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, 0)
+        stopper.update(1.1, 1)
+        stopper.update(0.5, 2)  # improvement
+        assert stopper.best == 0.5 and stopper.best_epoch == 2
+        assert not stopper.update(0.6, 3)
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(1.0, 0)
+        assert stopper.update(0.95, 1)  # improvement below min_delta ignored
+
+    def test_improved_flag(self):
+        stopper = EarlyStopping(patience=5)
+        stopper.update(1.0, 0)
+        assert stopper.improved_last_update
+        stopper.update(2.0, 1)
+        assert not stopper.improved_last_update

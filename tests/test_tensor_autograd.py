@@ -1,0 +1,150 @@
+"""Autograd engine mechanics: tape construction, backward, no_grad."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, ops, unbroadcast
+from repro.tensor.tensor import is_grad_enabled
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_default_grad(self):
+        a = Tensor(3.0, requires_grad=True)
+        (a * a).backward()
+        np.testing.assert_allclose(a.grad, 6.0)
+
+    def test_nonscalar_backward_requires_grad_argument(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = a * 2.0
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            out.backward()
+        out.backward(np.ones(3))
+        np.testing.assert_allclose(a.grad, [2.0, 2.0, 2.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(1.0).backward()
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * 3.0).backward()
+        (a * 3.0).backward()
+        np.testing.assert_allclose(a.grad, 6.0)
+
+    def test_zero_grad(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * 3.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = a*a + a*a — two paths through the same leaf
+        a = Tensor(3.0, requires_grad=True)
+        b = a * a
+        (b + b).backward()
+        np.testing.assert_allclose(a.grad, 12.0)
+
+    def test_reused_subexpression(self):
+        a = Tensor(2.0, requires_grad=True)
+        b = a * 3.0
+        out = b * b + b
+        out.backward()
+        # d/da (9a^2 + 3a) = 18a + 3 = 39
+        np.testing.assert_allclose(a.grad, 39.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor(1.0, requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 0.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, 1.0)
+
+    def test_intermediate_gradients_freed(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = a * 2.0
+        c = b.sum()
+        c.backward()
+        assert b.grad is None  # freed after propagation
+        assert a.grad is not None
+
+    def test_constants_do_not_collect_gradients(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        const = Tensor(np.ones(3))
+        (a * const).sum().backward()
+        assert const.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph_construction(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestUnbroadcast:
+    @pytest.mark.parametrize(
+        "grad_shape,target",
+        [((4, 3), (3,)), ((4, 3), (1, 3)), ((2, 4, 3), (4, 3)), ((2, 4, 3), (1, 1)), ((5,), ())],
+    )
+    def test_shapes(self, grad_shape, target):
+        grad = np.ones(grad_shape)
+        out = unbroadcast(grad, target)
+        assert out.shape == tuple(target)
+        np.testing.assert_allclose(out.sum(), grad.sum())
+
+    def test_identity_when_shapes_match(self):
+        grad = np.arange(6.0).reshape(2, 3)
+        np.testing.assert_array_equal(unbroadcast(grad, (2, 3)), grad)
+
+
+class TestTensorProtocol:
+    def test_detach_shares_data(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        d.data[0] = 5.0
+        assert a.data[0] == 5.0  # shared
+
+    def test_copy_is_independent(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        c = a.copy()
+        c.data[0] = 5.0
+        assert a.data[0] == 1.0
+
+    def test_item_and_len_and_repr(self):
+        a = Tensor(2.5, requires_grad=True)
+        assert a.item() == 2.5
+        assert "requires_grad" in repr(a)
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_operator_sugar(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = ((1.0 - a) / a + a**2 - (-a)) * 2.0
+        out.backward(np.ones(1))
+        # f(a) = 2*((1-a)/a + a^2 + a); f'(a) = 2*(-1/a^2 + 2a + 1)
+        np.testing.assert_allclose(a.grad, 2 * (-0.25 + 4 + 1))
+
+    def test_transpose_property(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.T.shape == (3, 2)
+
+    def test_float64_enforced(self):
+        a = Tensor(np.array([1, 2, 3], dtype=np.int32))
+        assert a.data.dtype == np.float64

@@ -1,0 +1,142 @@
+"""Losses and variational utilities (Huber Eq. 21, Gaussian KL, reparam)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F
+from repro.tensor.gradcheck import check_gradients
+
+
+class TestHuberLoss:
+    def test_quadratic_inside_threshold(self):
+        pred, target = Tensor(np.array([0.5])), Tensor(np.array([0.0]))
+        loss = F.huber_loss(pred, target, delta=1.0)
+        np.testing.assert_allclose(loss.item(), 0.5 * 0.25)
+
+    def test_linear_outside_threshold(self):
+        pred, target = Tensor(np.array([3.0])), Tensor(np.array([0.0]))
+        loss = F.huber_loss(pred, target, delta=1.0)
+        np.testing.assert_allclose(loss.item(), 1.0 * (3.0 - 0.5))
+
+    def test_continuous_at_threshold(self):
+        delta = 0.7
+        eps = 1e-9
+        below = F.huber_loss(Tensor([delta - eps]), Tensor([0.0]), delta=delta).item()
+        above = F.huber_loss(Tensor([delta + eps]), Tensor([0.0]), delta=delta).item()
+        assert abs(below - above) < 1e-6
+
+    def test_less_sensitive_to_outliers_than_mse(self, rng):
+        target = Tensor(np.zeros(100))
+        clean = Tensor(rng.standard_normal(100) * 0.1)
+        outliers = clean.numpy().copy()
+        outliers[0] = 50.0
+        huber_increase = F.huber_loss(Tensor(outliers), target).item() - F.huber_loss(clean, target).item()
+        mse_increase = F.mse_loss(Tensor(outliers), target).item() - F.mse_loss(clean, target).item()
+        assert huber_increase < mse_increase
+
+    def test_gradients(self, rng):
+        pred = Tensor(rng.standard_normal((4, 5)) * 2, requires_grad=True)
+        target = Tensor(rng.standard_normal((4, 5)))
+        check_gradients(lambda p: F.huber_loss(p, target, delta=0.8), [pred])
+
+    def test_zero_at_perfect_prediction(self, rng):
+        data = rng.standard_normal((3, 3))
+        assert F.huber_loss(Tensor(data), Tensor(data)).item() == 0.0
+
+
+class TestBasicLosses:
+    def test_mse(self):
+        np.testing.assert_allclose(F.mse_loss(Tensor([2.0]), Tensor([0.0])).item(), 4.0)
+
+    def test_mae(self):
+        np.testing.assert_allclose(F.mae_loss(Tensor([-2.0]), Tensor([0.0])).item(), 2.0)
+
+    def test_gradients(self, rng):
+        pred = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        target = Tensor(rng.standard_normal((4, 3)))
+        check_gradients(lambda p: F.mse_loss(p, target), [pred])
+
+
+class TestGaussianKL:
+    def test_standard_normal_has_zero_kl(self):
+        mu = Tensor(np.zeros((5, 8)))
+        log_var = Tensor(np.zeros((5, 8)))
+        np.testing.assert_allclose(F.gaussian_kl(mu, log_var).item(), 0.0, atol=1e-12)
+
+    def test_positive_for_nonstandard(self, rng):
+        mu = Tensor(rng.standard_normal((5, 8)))
+        log_var = Tensor(rng.standard_normal((5, 8)))
+        assert F.gaussian_kl(mu, log_var).item() > 0.0
+
+    def test_matches_closed_form(self):
+        mu_value, log_var_value = 1.5, 0.3
+        expected = 0.5 * (np.exp(log_var_value) + mu_value**2 - 1 - log_var_value)
+        out = F.gaussian_kl(Tensor([[mu_value]]), Tensor([[log_var_value]])).item()
+        np.testing.assert_allclose(out, expected)
+
+    def test_gradients(self, rng):
+        mu = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        log_var = Tensor(rng.standard_normal((3, 4)) * 0.3, requires_grad=True)
+        check_gradients(F.gaussian_kl, [mu, log_var])
+
+    def test_monotone_in_mean_magnitude(self):
+        log_var = Tensor(np.zeros((1, 4)))
+        small = F.gaussian_kl(Tensor(np.full((1, 4), 0.5)), log_var).item()
+        large = F.gaussian_kl(Tensor(np.full((1, 4), 2.0)), log_var).item()
+        assert large > small
+
+
+class TestReparameterize:
+    def test_sample_statistics(self):
+        rng = np.random.default_rng(0)
+        mu = Tensor(np.full((20000, 1), 2.0))
+        log_var = Tensor(np.full((20000, 1), np.log(0.25)))
+        sample = F.reparameterize(mu, log_var, rng=rng).numpy()
+        np.testing.assert_allclose(sample.mean(), 2.0, atol=0.02)
+        np.testing.assert_allclose(sample.std(), 0.5, atol=0.02)
+
+    def test_gradient_flows_to_mu_and_log_var(self):
+        mu = Tensor(np.zeros((4, 3)), requires_grad=True)
+        log_var = Tensor(np.zeros((4, 3)), requires_grad=True)
+        sample = F.reparameterize(mu, log_var, rng=np.random.default_rng(1))
+        sample.sum().backward()
+        assert mu.grad is not None and np.allclose(mu.grad, 1.0)
+        assert log_var.grad is not None  # scaled by eps, nonzero in general
+
+    def test_deterministic_with_fixed_rng(self):
+        mu = Tensor(np.zeros((4, 3)))
+        log_var = Tensor(np.zeros((4, 3)))
+        a = F.reparameterize(mu, log_var, rng=np.random.default_rng(5)).numpy()
+        b = F.reparameterize(mu, log_var, rng=np.random.default_rng(5)).numpy()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAttentionHelpers:
+    def test_scores_are_row_stochastic(self, rng):
+        q = Tensor(rng.standard_normal((2, 5, 4)))
+        k = Tensor(rng.standard_normal((2, 5, 4)))
+        scores = F.attention_scores(q, k).numpy()
+        np.testing.assert_allclose(scores.sum(axis=-1), np.ones((2, 5)))
+
+    def test_attention_output_shape(self, rng):
+        q = Tensor(rng.standard_normal((2, 5, 4)))
+        k = Tensor(rng.standard_normal((2, 7, 4)))
+        v = Tensor(rng.standard_normal((2, 7, 6)))
+        out = F.scaled_dot_product_attention(q, k, v)
+        assert out.shape == (2, 5, 6)
+
+    def test_attention_gradients(self, rng):
+        q = Tensor(rng.standard_normal((5, 4)), requires_grad=True)
+        k = Tensor(rng.standard_normal((5, 4)), requires_grad=True)
+        v = Tensor(rng.standard_normal((5, 4)), requires_grad=True)
+        check_gradients(F.scaled_dot_product_attention, [q, k, v])
+
+    def test_linear_helper(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        w = Tensor(rng.standard_normal((4, 2)))
+        b = Tensor(rng.standard_normal(2))
+        np.testing.assert_allclose(
+            F.linear(x, w, b).numpy(), x.numpy() @ w.numpy() + b.numpy()
+        )

@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) on core tensor-algebra invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor, functional as F, ops, unbroadcast
+
+finite_floats = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side=4, max_dims=3):
+    shapes = st.lists(st.integers(1, max_side), min_size=1, max_size=max_dims).map(tuple)
+    return shapes.flatmap(lambda s: arrays(np.float64, s, elements=finite_floats))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_softmax_is_a_distribution(data):
+    out = ops.softmax(Tensor(data), axis=-1).numpy()
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(out.shape[:-1]), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_all_ones(data):
+    a = Tensor(data, requires_grad=True)
+    a.sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.floats(min_value=-3, max_value=3, allow_nan=False))
+def test_scalar_multiply_scales_gradient(data, scalar):
+    a = Tensor(data, requires_grad=True)
+    (a * scalar).sum().backward()
+    np.testing.assert_allclose(a.grad, np.full_like(data, scalar), atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_add_commutes(data):
+    a, b = Tensor(data), Tensor(data[::-1].copy() if data.ndim == 1 else data.T.copy().reshape(data.shape))
+    np.testing.assert_allclose((a + b).numpy(), (b + a).numpy())
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_reshape_roundtrip(data):
+    a = Tensor(data)
+    flat = ops.reshape(a, (data.size,))
+    back = ops.reshape(flat, data.shape)
+    np.testing.assert_array_equal(back.numpy(), data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_exp_log_inverse_on_positive(data):
+    positive = np.abs(data) + 0.1
+    out = ops.log(ops.exp(Tensor(positive) * 0.1)).numpy()
+    np.testing.assert_allclose(out, positive * 0.1, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_huber_bounded_by_mse_and_nonnegative(data):
+    pred, target = Tensor(data), Tensor(np.zeros_like(data))
+    huber = F.huber_loss(pred, target, delta=1.0).item()
+    mse_half = 0.5 * F.mse_loss(pred, target).item()
+    assert huber >= 0.0
+    assert huber <= mse_half + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_tanh_bounded(data):
+    out = ops.tanh(Tensor(data)).numpy()
+    assert np.all(np.abs(out) <= 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float64, (3, 4), elements=finite_floats), arrays(np.float64, (4,), elements=finite_floats))
+def test_broadcast_backward_matches_manual_sum(matrix, vector):
+    a = Tensor(matrix, requires_grad=True)
+    b = Tensor(vector, requires_grad=True)
+    (a * b).sum().backward()
+    np.testing.assert_allclose(b.grad, matrix.sum(axis=0), atol=1e-9)
+    np.testing.assert_allclose(a.grad, np.broadcast_to(vector, matrix.shape), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+def test_unbroadcast_preserves_total_mass(rows, cols, extra):
+    grad = np.ones((extra, rows, cols))
+    out = unbroadcast(grad, (rows, cols))
+    np.testing.assert_allclose(out.sum(), grad.sum())
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (4, 4), elements=finite_floats))
+def test_matmul_identity(data):
+    eye = Tensor(np.eye(4))
+    np.testing.assert_allclose(ops.matmul(Tensor(data), eye).numpy(), data, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (3, 5), elements=st.floats(min_value=-5, max_value=5, allow_nan=False)))
+def test_gaussian_kl_nonnegative(mu):
+    log_var = np.zeros_like(mu)
+    assert F.gaussian_kl(Tensor(mu), Tensor(log_var)).item() >= -1e-12

@@ -1,0 +1,50 @@
+"""Checkpoint save/load round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import make_st_wa
+from repro.tensor import Tensor, no_grad
+from repro.training import load_checkpoint, save_checkpoint
+
+
+class TestCheckpoint:
+    def test_roundtrip_simple_model(self, tmp_path, rng):
+        model = nn.MLP([4, 8, 2], rng=rng)
+        path = save_checkpoint(model, tmp_path / "model.npz", metadata={"epoch": 7})
+        clone = nn.MLP([4, 8, 2], rng=np.random.default_rng(99))
+        metadata = load_checkpoint(clone, path)
+        assert metadata == {"epoch": 7}
+        x = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_array_equal(model(x).numpy(), clone(x).numpy())
+
+    def test_roundtrip_full_st_wa(self, tmp_path, rng):
+        model = make_st_wa(5, model_dim=8, latent_dim=4, skip_dim=8, predictor_hidden=16, seed=1)
+        path = save_checkpoint(model, tmp_path / "stwa.npz")
+        clone = make_st_wa(5, model_dim=8, latent_dim=4, skip_dim=8, predictor_hidden=16, seed=2)
+        load_checkpoint(clone, path)
+        model.eval()
+        clone.eval()
+        x = Tensor(rng.standard_normal((1, 5, 12, 1)))
+        with no_grad():
+            np.testing.assert_array_equal(model(x).numpy(), clone(x).numpy())
+
+    def test_default_metadata_empty(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        path = save_checkpoint(model, tmp_path / "lin.npz")
+        assert load_checkpoint(model, path) == {}
+
+    def test_creates_parent_directories(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        path = save_checkpoint(model, tmp_path / "deep" / "nested" / "lin.npz")
+        assert path.exists()
+
+    def test_mismatched_architecture_raises(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        path = save_checkpoint(model, tmp_path / "lin.npz")
+        wrong = nn.Linear(3, 2, rng=rng)
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(wrong, path)

@@ -1,0 +1,77 @@
+"""Analytic memory model: asymptotics and the Table VI OOM boundary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.training.memory import (
+    ModelDims,
+    V100_BUDGET_GB,
+    activation_gb,
+    families,
+    fits_in_budget,
+    parameter_gb,
+)
+
+
+class TestFormulas:
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            activation_gb("quantum", ModelDims())
+
+    def test_all_families_positive(self):
+        dims = ModelDims()
+        for family in families():
+            assert activation_gb(family, dims) > 0
+
+    def test_attention_quadratic_in_history(self):
+        small = activation_gb("attention", ModelDims(history=12))
+        large = activation_gb("attention", ModelDims(history=120))
+        assert large / small > 50  # ~quadratic: 100x dominates
+
+    def test_window_attention_linear_in_history(self):
+        small = activation_gb("window_attention", ModelDims(history=12))
+        large = activation_gb("window_attention", ModelDims(history=120))
+        assert large / small < 15  # ~linear: ~10x
+
+    def test_stfgnn_quadratic_in_sensors(self):
+        # at long horizons the fused-graph term dominates and scales ~N^2
+        small = activation_gb("stfgnn", ModelDims(num_sensors=100, history=72))
+        large = activation_gb("stfgnn", ModelDims(num_sensors=1000, history=72))
+        assert large / small > 30  # clearly super-linear (linear would be ~10)
+
+    def test_rnn_linear_in_sensors(self):
+        small = activation_gb("rnn", ModelDims(num_sensors=100))
+        large = activation_gb("rnn", ModelDims(num_sensors=1000))
+        assert 8 < large / small < 12
+
+    def test_parameter_memory(self):
+        # 1M parameters * 4 bytes * 4 copies (w, g, m, v) = 16e6 bytes
+        assert abs(parameter_gb(1_000_000) - 16e6 / 1024**3) < 1e-9
+
+
+class TestTableVIBoundary:
+    """The paper's OOM pattern: STFGNN & EnhanceNet die on PEMS07 at H=72."""
+
+    @pytest.mark.parametrize(
+        "family,sensors,history,expected_fits",
+        [
+            ("stfgnn", 883, 72, False),  # PEMS07 long-horizon: OOM
+            ("enhancenet", 883, 72, False),  # PEMS07 long-horizon: OOM
+            ("agcrn", 883, 72, True),  # AGCRN survives (barely)
+            ("window_attention", 883, 72, True),  # ST-WA is fine
+            ("stfgnn", 358, 72, True),  # PEMS03 long-horizon fits
+            ("enhancenet", 358, 72, True),
+            ("stfgnn", 883, 12, True),  # everything fits at H=12
+            ("enhancenet", 883, 12, True),
+        ],
+    )
+    def test_oom_pattern(self, family, sensors, history, expected_fits):
+        dims = ModelDims(num_sensors=sensors, history=history, horizon=history)
+        assert fits_in_budget(family, dims, V100_BUDGET_GB) == expected_fits
+
+    def test_st_wa_has_smallest_footprint_at_scale(self):
+        dims = ModelDims(num_sensors=883, history=72, horizon=72)
+        st_wa = activation_gb("window_attention", dims)
+        for family in ("attention", "stfgnn", "enhancenet", "agcrn"):
+            assert st_wa < activation_gb(family, dims)

@@ -1,0 +1,90 @@
+"""MAE / RMSE / MAPE and the horizon breakdown."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.training import evaluate_all, horizon_breakdown, mae, mape, rmse
+
+
+class TestBasics:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mae(np.zeros(3), np.zeros(4))
+
+    def test_perfect_prediction(self):
+        data = np.arange(10.0)
+        assert mae(data, data) == 0.0
+        assert rmse(data, data) == 0.0
+        assert mape(data + 0, data) == 0.0
+
+    def test_known_values(self):
+        prediction = np.array([2.0, 4.0])
+        target = np.array([1.0, 2.0])
+        assert mae(prediction, target) == 1.5
+        np.testing.assert_allclose(rmse(prediction, target), np.sqrt(2.5))
+        np.testing.assert_allclose(mape(prediction, target), 100.0)
+
+    def test_mape_masks_near_zero_targets(self):
+        prediction = np.array([1.0, 100.0])
+        target = np.array([0.0, 100.0])  # first entry masked
+        assert mape(prediction, target, threshold=1.0) == 0.0
+
+    def test_mape_all_masked_returns_nan(self):
+        assert np.isnan(mape(np.ones(3), np.zeros(3)))
+
+    def test_evaluate_all_keys(self, rng):
+        out = evaluate_all(rng.standard_normal(10), rng.standard_normal(10))
+        assert set(out) == {"mae", "rmse", "mape"}
+
+
+class TestHorizonBreakdown:
+    def test_per_step_keys(self, rng):
+        prediction = rng.standard_normal((4, 3, 6, 1))
+        target = rng.standard_normal((4, 3, 6, 1))
+        out = horizon_breakdown(prediction, target)
+        assert sorted(out) == [1, 2, 3, 4, 5, 6]
+
+    def test_average_consistency(self, rng):
+        """Mean of per-step MAEs equals overall MAE (equal step sizes)."""
+        prediction = rng.standard_normal((4, 3, 6, 1))
+        target = rng.standard_normal((4, 3, 6, 1))
+        per_step = horizon_breakdown(prediction, target)
+        step_mean = np.mean([v["mae"] for v in per_step.values()])
+        np.testing.assert_allclose(step_mean, mae(prediction, target))
+
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (20,), elements=finite), arrays(np.float64, (20,), elements=finite))
+def test_rmse_at_least_mae(prediction, target):
+    """RMSE >= MAE always (Cauchy-Schwarz)."""
+    assert rmse(prediction, target) >= mae(prediction, target) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (20,), elements=finite))
+def test_metrics_nonnegative(values):
+    target = np.zeros(20)
+    assert mae(values, target) >= 0
+    assert rmse(values, target) >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (20,), elements=finite), st.floats(min_value=0.1, max_value=10))
+def test_mae_scales_linearly(values, scale):
+    target = np.zeros(20)
+    np.testing.assert_allclose(mae(values * scale, target), scale * mae(values, target), rtol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (20,), elements=finite))
+def test_mae_symmetric(values):
+    other = values[::-1].copy()
+    np.testing.assert_allclose(mae(values, other), mae(other, values))

@@ -1,0 +1,90 @@
+"""Trainer loop: convergence, early stopping, checkpoint restore, eval."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_wa
+from repro.baselines import GRUForecaster
+from repro.data import WindowSpec
+from repro.training import Trainer, TrainerConfig
+
+
+SPEC = WindowSpec(12, 12)
+
+
+def small_trainer(tiny_dataset, model=None, **config_overrides):
+    config = dict(epochs=3, batch_size=16, max_batches_per_epoch=6, eval_batches=3, lr=6e-3, seed=0)
+    config.update(config_overrides)
+    if model is None:
+        model = GRUForecaster(12, 12, hidden_size=8, predictor_hidden=32, seed=0)
+    return Trainer(model, tiny_dataset, SPEC, TrainerConfig(**config))
+
+
+class TestFit:
+    def test_loss_decreases(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset, epochs=6)
+        history = trainer.fit()
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_history_bookkeeping(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset)
+        history = trainer.fit()
+        assert history.epochs_run == 3
+        assert len(history.val_mae) == 3
+        assert len(history.epoch_seconds) == 3
+        assert history.seconds_per_epoch > 0
+        assert 0 <= history.best_epoch < 3
+
+    def test_early_stopping_triggers(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset, epochs=50, patience=2, lr=1e-12, min_delta=1e-3)
+        history = trainer.fit()
+        # lr ~ 0: no improvement after epoch 0 -> stop at patience
+        assert history.stopped_early
+        assert history.epochs_run < 50
+
+    def test_best_weights_restored(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset, epochs=4)
+        history = trainer.fit()
+        restored = trainer.evaluate("val", max_batches=3)["mae"]
+        np.testing.assert_allclose(restored, min(history.val_mae), rtol=0.2)
+
+    def test_st_wa_trains_through_trainer(self, tiny_dataset):
+        model = make_wa(tiny_dataset.num_sensors, model_dim=8, skip_dim=8, predictor_hidden=16, seed=0)
+        trainer = small_trainer(tiny_dataset, model=model)
+        history = trainer.fit()
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        a = small_trainer(tiny_dataset).fit().train_loss
+        b = small_trainer(tiny_dataset).fit().train_loss
+        np.testing.assert_allclose(a, b)
+
+
+class TestEvaluate:
+    def test_unknown_split_raises(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset)
+        with pytest.raises(KeyError):
+            trainer.evaluate("holdout")
+
+    def test_metrics_in_raw_units(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset)
+        metrics = trainer.evaluate("test", max_batches=3)
+        # raw traffic flows are O(100); scaled units would give MAE < 5
+        assert metrics["mae"] > 5.0
+
+    def test_eval_does_not_touch_parameters(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset)
+        before = trainer.model.state_dict()
+        trainer.evaluate("val", max_batches=2)
+        after = trainer.model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_predict_returns_raw_units(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset)
+        x = tiny_dataset.test[:, :24][None]  # (1, N, 24, 1) -> slice history
+        prediction = trainer.predict(x[:, :, :12])
+        assert prediction.shape == (1, tiny_dataset.num_sensors, 12, 1)
+        assert prediction.mean() > 1.0  # raw scale

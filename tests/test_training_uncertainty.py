@@ -1,0 +1,78 @@
+"""Probabilistic forecasting from the stochastic latents."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_deterministic_st_wa, make_st_wa
+from repro.data import SlidingWindowDataset, WindowSpec
+from repro.training import interval_diagnostics, predict_interval, sample_forecasts
+
+
+SMALL = dict(model_dim=8, latent_dim=4, skip_dim=8, predictor_hidden=16)
+
+
+@pytest.fixture
+def batch(tiny_dataset):
+    windows = SlidingWindowDataset(tiny_dataset.train, WindowSpec(12, 12), raw=tiny_dataset.train_raw)
+    x, y = windows.sample(np.arange(4))
+    return x, y
+
+
+class TestSampling:
+    def test_validation(self, tiny_dataset, batch):
+        model = make_st_wa(tiny_dataset.num_sensors, seed=0, **SMALL)
+        with pytest.raises(ValueError):
+            sample_forecasts(model, batch[0], tiny_dataset.scaler, num_samples=0)
+        with pytest.raises(ValueError):
+            predict_interval(model, batch[0], tiny_dataset.scaler, level=1.5)
+
+    def test_sample_shape(self, tiny_dataset, batch):
+        model = make_st_wa(tiny_dataset.num_sensors, seed=0, **SMALL)
+        samples = sample_forecasts(model, batch[0], tiny_dataset.scaler, num_samples=5)
+        assert samples.shape == (5, 4, tiny_dataset.num_sensors, 12, 1)
+
+    def test_stochastic_model_varies_across_samples(self, tiny_dataset, batch):
+        model = make_st_wa(tiny_dataset.num_sensors, seed=0, **SMALL)
+        samples = sample_forecasts(model, batch[0], tiny_dataset.scaler, num_samples=4)
+        assert not np.allclose(samples[0], samples[1])
+
+    def test_deterministic_model_gives_identical_samples(self, tiny_dataset, batch):
+        model = make_deterministic_st_wa(tiny_dataset.num_sensors, seed=0, **SMALL)
+        samples = sample_forecasts(model, batch[0], tiny_dataset.scaler, num_samples=3)
+        np.testing.assert_array_equal(samples[0], samples[1])
+
+    def test_model_left_in_eval_mode(self, tiny_dataset, batch):
+        model = make_st_wa(tiny_dataset.num_sensors, seed=0, **SMALL)
+        sample_forecasts(model, batch[0], tiny_dataset.scaler, num_samples=2)
+        assert not model.training
+
+
+class TestIntervals:
+    def test_band_ordering(self, tiny_dataset, batch):
+        model = make_st_wa(tiny_dataset.num_sensors, seed=0, **SMALL)
+        forecast = predict_interval(model, batch[0], tiny_dataset.scaler, num_samples=10)
+        assert np.all(forecast.lower <= forecast.median + 1e-12)
+        assert np.all(forecast.median <= forecast.upper + 1e-12)
+        assert np.all(forecast.width >= 0)
+
+    def test_wider_level_wider_band(self, tiny_dataset, batch):
+        model = make_st_wa(tiny_dataset.num_sensors, seed=0, **SMALL)
+        narrow = predict_interval(model, batch[0], tiny_dataset.scaler, num_samples=16, level=0.5)
+        wide = predict_interval(model, batch[0], tiny_dataset.scaler, num_samples=16, level=0.95)
+        assert wide.width.mean() >= narrow.width.mean()
+
+    def test_coverage_and_diagnostics(self, tiny_dataset, batch):
+        model = make_st_wa(tiny_dataset.num_sensors, seed=0, **SMALL)
+        forecast = predict_interval(model, batch[0], tiny_dataset.scaler, num_samples=8)
+        diagnostics = interval_diagnostics(forecast, batch[1])
+        assert 0.0 <= diagnostics["empirical_coverage"] <= 1.0
+        assert diagnostics["mean_width"] >= 0
+        assert diagnostics["nominal_level"] == 0.9
+
+    def test_coverage_shape_mismatch_raises(self, tiny_dataset, batch):
+        model = make_st_wa(tiny_dataset.num_sensors, seed=0, **SMALL)
+        forecast = predict_interval(model, batch[0], tiny_dataset.scaler, num_samples=4)
+        with pytest.raises(ValueError):
+            forecast.coverage(np.zeros((1, 2, 3)))
