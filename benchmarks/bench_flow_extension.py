@@ -29,7 +29,7 @@ def test_flow_extension(benchmark, settings, results_dir):
                     fmt(res["mae"]),
                     fmt(res["mape"]),
                     fmt(res["rmse"]),
-                    fmt(res["seconds_per_epoch"]),
+                    fmt(res["seconds_per_epoch_warm"]),
                     str(int(res["parameters"])),
                 ]
                 for name, res in (("ST-WA (Gaussian)", gaussian), ("ST-WA (planar flows)", flowed))

@@ -25,7 +25,10 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 @pytest.fixture(scope="session")
 def settings() -> RunSettings:
-    return RunSettings.from_env(default="smoke")
+    # settings are passed explicitly; REPRO_SCOPE is honoured here (and only
+    # here) so existing benchmark invocations keep working without the
+    # deprecated RunSettings.from_env() side channel
+    return RunSettings.from_scope(os.environ.get("REPRO_SCOPE", "smoke"))
 
 
 @pytest.fixture(scope="session")

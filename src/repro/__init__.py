@@ -22,6 +22,8 @@ Subpackages
     t-SNE, k-means, text plots (Figure 9 tooling).
 ``repro.harness``
     One runner per paper table/figure; see ``repro.harness.EXPERIMENTS``.
+``repro.obs``
+    Observability: op-level profiler, module spans, JSONL metric sinks.
 
 Quickstart
 ----------
@@ -37,7 +39,7 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import analysis, baselines, core, data, harness, nn, optim, tensor, training
+from . import analysis, baselines, core, data, harness, nn, obs, optim, tensor, training
 
 __all__ = [
     "tensor",
@@ -49,5 +51,6 @@ __all__ = [
     "training",
     "analysis",
     "harness",
+    "obs",
     "__version__",
 ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .baselines import available_models, build_model
+from .baselines import BuildSpec, available_models, build_from_spec
 from .data import WindowSpec, available_datasets, load_dataset
 from .training import Trainer, TrainerConfig, save_checkpoint
 
@@ -38,7 +38,10 @@ def main(argv=None) -> int:
 
     print(f"loading {args.dataset} (profile={args.profile}) ...")
     dataset = load_dataset(args.dataset, profile=args.profile)
-    model = build_model(args.model, dataset, args.history, args.horizon, seed=args.seed)
+    model = build_from_spec(
+        args.model,
+        BuildSpec(dataset=dataset, history=args.history, horizon=args.horizon, seed=args.seed),
+    )
     n_params = model.num_parameters()
     print(f"{args.model}: {n_params} parameters, {dataset.num_sensors} sensors")
 

@@ -17,9 +17,13 @@ from .meta_lstm import MetaLSTMForecaster
 from .registry import (
     MODEL_BUILDERS,
     MODEL_FAMILIES,
+    BuildSpec,
+    adapt_legacy_builder,
     available_models,
+    build_from_spec,
     build_model,
     model_family,
+    register_model,
 )
 from .stfgnn import STFGNNForecaster, similarity_graph
 from .stg2seq import STG2SeqForecaster
@@ -58,7 +62,11 @@ __all__ = [
     "MetaLSTMForecaster",
     "MODEL_BUILDERS",
     "MODEL_FAMILIES",
+    "BuildSpec",
+    "adapt_legacy_builder",
     "available_models",
+    "build_from_spec",
     "build_model",
     "model_family",
+    "register_model",
 ]

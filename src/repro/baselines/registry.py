@@ -10,6 +10,21 @@ ST-aware     — ST-WA, GRU+ST, ATT+ST
 Ablations    — SA, WA-1, WA, S-WA, ST-WA-det, ST-WA-mean
 Classical    — Persistence, WindowMean, VAR
 
+Construction API
+----------------
+Builders take a single keyword-friendly :class:`BuildSpec` — dataset, task
+shape, seed, and free-form hyper-parameter ``overrides``::
+
+    spec = BuildSpec(dataset=ds, history=12, horizon=12, seed=0,
+                     overrides={"model_dim": 32})
+    model = build_from_spec("st-wa", spec)
+
+The legacy positional contract ``builder(dataset, history, horizon, seed)``
+is still accepted everywhere a builder is registered or looked up: a thin
+shim adapts it and emits a single :class:`DeprecationWarning` per builder.
+:func:`build_model` keeps its historical positional signature on top of the
+spec API.
+
 Every builder returns a model obeying the common forecaster contract
 (scaled ``(B, N, H, F)`` -> scaled ``(B, N, U, F)``).  ``MODEL_FAMILIES``
 maps each name onto the analytic memory-model family used for the Table VI
@@ -18,7 +33,10 @@ OOM reproduction.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import inspect
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
 
 from ..core import (
     STAttentionConfig,
@@ -52,108 +70,266 @@ from .stsgcn import STSGCNForecaster
 from .tcn import TCNForecaster
 from .transformer import ATTForecaster, LongFormerForecaster
 
-Builder = Callable[[TrafficDataset, int, int, int], Module]
+
+@dataclass(frozen=True, eq=False)
+class BuildSpec:
+    """Everything a builder needs, passed by keyword.
+
+    Parameters
+    ----------
+    dataset:
+        The target :class:`TrafficDataset` (sensors, adjacency, splits).
+    history / horizon:
+        Input window length H and forecast length U.
+    seed:
+        Weight-initialization seed.
+    overrides:
+        Free-form hyper-parameter overrides forwarded to the underlying
+        model constructor (e.g. ``{"model_dim": 32}`` for the ST-WA family).
+        Unknown keys raise ``TypeError`` at construction, on purpose.
+    """
+
+    dataset: TrafficDataset
+    history: int
+    horizon: int
+    seed: int = 0
+    overrides: Mapping[str, object] = field(default_factory=dict)
+
+    def replace(self, **changes) -> "BuildSpec":
+        """Return a copy with the given fields swapped out."""
+        values = {
+            "dataset": self.dataset,
+            "history": self.history,
+            "horizon": self.horizon,
+            "seed": self.seed,
+            "overrides": self.overrides,
+        }
+        values.update(changes)
+        return BuildSpec(**values)
 
 
-def _st_wa(ds, history, horizon, seed):
-    return make_st_wa(ds.num_sensors, history=history, horizon=horizon, seed=seed, model_dim=24, latent_dim=12, skip_dim=48, predictor_hidden=196)
+#: the builder contract: one keyword-friendly spec in, a forecaster out
+Builder = Callable[[BuildSpec], Module]
+
+#: pre-redesign positional contract, still accepted via :func:`adapt_legacy_builder`
+LegacyBuilder = Callable[[TrafficDataset, int, int, int], Module]
 
 
-def _s_wa(ds, history, horizon, seed):
-    return make_s_wa(ds.num_sensors, history=history, horizon=horizon, seed=seed, model_dim=24, latent_dim=12, skip_dim=48, predictor_hidden=196)
+def adapt_legacy_builder(builder: LegacyBuilder) -> Builder:
+    """Wrap a positional ``(dataset, history, horizon, seed)`` builder.
+
+    The adapter emits one :class:`DeprecationWarning` the first time the
+    wrapped builder actually runs, then stays quiet.
+    """
+    warned = []
+
+    def build(spec: BuildSpec) -> Module:
+        if not warned:
+            warned.append(True)
+            warnings.warn(
+                "positional model builders (dataset, history, horizon, seed) are "
+                "deprecated; take a single BuildSpec instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return builder(spec.dataset, spec.history, spec.horizon, spec.seed)
+
+    build.__wrapped__ = builder
+    return build
 
 
-def _wa(ds, history, horizon, seed):
-    return make_wa(ds.num_sensors, history=history, horizon=horizon, seed=seed, model_dim=24, skip_dim=48, predictor_hidden=196)
+def _is_legacy_builder(builder: Callable) -> bool:
+    """Heuristically detect the old 4-positional-argument contract."""
+    try:
+        # follow_wrapped=False: adapters advertise the legacy builder via
+        # __wrapped__ and must not be re-detected as legacy themselves
+        signature = inspect.signature(builder, follow_wrapped=False)
+    except (TypeError, ValueError):
+        return False
+    parameters = [
+        p
+        for p in signature.parameters.values()
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    return len(parameters) >= 4
 
 
-def _wa1(ds, history, horizon, seed):
-    return make_wa1(ds.num_sensors, history=history, horizon=horizon, seed=seed, model_dim=24, skip_dim=48, predictor_hidden=196)
+def register_model(name: str, builder: Callable, family: Optional[str] = None) -> None:
+    """Register (or replace) a builder under ``name`` (case-insensitive).
+
+    New-style builders take one :class:`BuildSpec`; legacy positional
+    builders are adapted through :func:`adapt_legacy_builder` and warn once.
+    """
+    if _is_legacy_builder(builder):
+        builder = adapt_legacy_builder(builder)
+    MODEL_BUILDERS[name.lower()] = builder
+    if family is not None:
+        MODEL_FAMILIES[name.lower()] = family
 
 
-def _st_wa_det(ds, history, horizon, seed):
-    return make_deterministic_st_wa(ds.num_sensors, history=history, horizon=horizon, seed=seed, model_dim=24, latent_dim=12, skip_dim=48, predictor_hidden=196)
+# --------------------------------------------------------------------- #
+# in-repo builders (all new-style: one BuildSpec in)
+# --------------------------------------------------------------------- #
+#: shared hyper-parameters of the ST-WA family at reproduction scale
+_ST_WA_DEFAULTS = dict(model_dim=24, latent_dim=12, skip_dim=48, predictor_hidden=196)
+_WA_DEFAULTS = dict(model_dim=24, skip_dim=48, predictor_hidden=196)
 
 
-def _st_wa_mean(ds, history, horizon, seed):
-    return make_mean_aggregator_st_wa(ds.num_sensors, history=history, horizon=horizon, seed=seed, model_dim=24, latent_dim=12, skip_dim=48, predictor_hidden=196)
+def _st_wa_family(factory, defaults):
+    def build(spec: BuildSpec) -> Module:
+        kwargs = dict(defaults)
+        kwargs.update(spec.overrides)
+        return factory(
+            spec.dataset.num_sensors,
+            history=spec.history,
+            horizon=spec.horizon,
+            seed=spec.seed,
+            **kwargs,
+        )
+
+    return build
 
 
 def _att_enhanced(mode):
-    def build(ds, history, horizon, seed):
-        return STAwareTransformer(
-            STAttentionConfig(num_sensors=ds.num_sensors, history=history, horizon=horizon, latent_mode=mode, seed=seed)
+    def build(spec: BuildSpec) -> Module:
+        config = STAttentionConfig(
+            num_sensors=spec.dataset.num_sensors,
+            history=spec.history,
+            horizon=spec.horizon,
+            latent_mode=mode,
+            seed=spec.seed,
+            **spec.overrides,
         )
+        return STAwareTransformer(config)
 
     return build
 
 
 def _gru_enhanced(mode):
-    def build(ds, history, horizon, seed):
-        return STAwareGRU(
-            STGRUConfig(num_sensors=ds.num_sensors, history=history, horizon=horizon, latent_mode=mode, seed=seed)
+    def build(spec: BuildSpec) -> Module:
+        config = STGRUConfig(
+            num_sensors=spec.dataset.num_sensors,
+            history=spec.history,
+            horizon=spec.horizon,
+            latent_mode=mode,
+            seed=spec.seed,
+            **spec.overrides,
         )
+        return STAwareGRU(config)
 
     return build
 
 
 def _tcn_enhanced(mode):
-    def build(ds, history, horizon, seed):
-        return STAwareTCN(
-            STTCNConfig(num_sensors=ds.num_sensors, history=history, horizon=horizon, latent_mode=mode, seed=seed)
+    def build(spec: BuildSpec) -> Module:
+        config = STTCNConfig(
+            num_sensors=spec.dataset.num_sensors,
+            history=spec.history,
+            horizon=spec.horizon,
+            latent_mode=mode,
+            seed=spec.seed,
+            **spec.overrides,
+        )
+        return STAwareTCN(config)
+
+    return build
+
+
+def _var(spec: BuildSpec) -> Module:
+    model = VARForecaster(spec.dataset.num_sensors, spec.history, spec.horizon, **spec.overrides)
+    model.fit(spec.dataset.train)
+    return model
+
+
+def _plain(factory):
+    """Builder for models shaped ``factory(history, horizon, seed=...)``."""
+
+    def build(spec: BuildSpec) -> Module:
+        return factory(spec.history, spec.horizon, seed=spec.seed, **spec.overrides)
+
+    return build
+
+
+def _graph(factory):
+    """Builder for models shaped ``factory(N, adjacency, history, horizon, seed=...)``."""
+
+    def build(spec: BuildSpec) -> Module:
+        return factory(
+            spec.dataset.num_sensors,
+            spec.dataset.adjacency,
+            spec.history,
+            spec.horizon,
+            seed=spec.seed,
+            **spec.overrides,
         )
 
     return build
 
 
-def _var(ds, history, horizon, seed):
-    model = VARForecaster(ds.num_sensors, history, horizon)
-    model.fit(ds.train)
-    return model
+def _persistence(spec: BuildSpec) -> Module:
+    return PersistenceForecaster(spec.history, spec.horizon, **spec.overrides)
+
+
+def _windowmean(spec: BuildSpec) -> Module:
+    return WindowMeanForecaster(spec.history, spec.horizon, **spec.overrides)
+
+
+def _agcrn(spec: BuildSpec) -> Module:
+    return AGCRNForecaster(spec.dataset.num_sensors, spec.history, spec.horizon, seed=spec.seed, **spec.overrides)
+
+
+def _stfgnn(spec: BuildSpec) -> Module:
+    return STFGNNForecaster(
+        spec.dataset.num_sensors,
+        spec.dataset.adjacency,
+        spec.dataset.train,
+        spec.history,
+        spec.horizon,
+        seed=spec.seed,
+        **spec.overrides,
+    )
 
 
 MODEL_BUILDERS: Dict[str, Builder] = {
     # classical
-    "persistence": lambda ds, h, u, s: PersistenceForecaster(h, u),
-    "windowmean": lambda ds, h, u, s: WindowMeanForecaster(h, u),
+    "persistence": _persistence,
+    "windowmean": _windowmean,
     "var": _var,
     # ST-agnostic deep baselines
-    "gru": lambda ds, h, u, s: GRUForecaster(h, u, seed=s),
-    "tcn": lambda ds, h, u, s: TCNForecaster(h, u, seed=s),
-    "att": lambda ds, h, u, s: ATTForecaster(h, u, seed=s),
-    "sa": lambda ds, h, u, s: ATTForecaster(h, u, seed=s),  # Table VIII alias
-    "longformer": lambda ds, h, u, s: LongFormerForecaster(h, u, seed=s),
-    "dcrnn": lambda ds, h, u, s: DCRNNForecaster(ds.num_sensors, ds.adjacency, h, u, seed=s),
-    "dcrnn-seq2seq": lambda ds, h, u, s: DCRNNSeq2Seq(ds.num_sensors, ds.adjacency, h, u, seed=s),
-    "stgcn": lambda ds, h, u, s: STGCNForecaster(ds.num_sensors, ds.adjacency, h, u, seed=s),
-    "stg2seq": lambda ds, h, u, s: STG2SeqForecaster(ds.num_sensors, ds.adjacency, h, u, seed=s),
-    "gwn": lambda ds, h, u, s: GWNForecaster(ds.num_sensors, ds.adjacency, h, u, seed=s),
-    "stsgcn": lambda ds, h, u, s: STSGCNForecaster(ds.num_sensors, ds.adjacency, h, u, seed=s),
-    "astgnn": lambda ds, h, u, s: ASTGNNForecaster(ds.num_sensors, ds.adjacency, h, u, seed=s),
-    "stfgnn": lambda ds, h, u, s: STFGNNForecaster(ds.num_sensors, ds.adjacency, ds.train, h, u, seed=s),
+    "gru": _plain(GRUForecaster),
+    "tcn": _plain(TCNForecaster),
+    "att": _plain(ATTForecaster),
+    "sa": _plain(ATTForecaster),  # Table VIII alias
+    "longformer": _plain(LongFormerForecaster),
+    "dcrnn": _graph(DCRNNForecaster),
+    "dcrnn-seq2seq": _graph(DCRNNSeq2Seq),
+    "stgcn": _graph(STGCNForecaster),
+    "stg2seq": _graph(STG2SeqForecaster),
+    "gwn": _graph(GWNForecaster),
+    "stsgcn": _graph(STSGCNForecaster),
+    "astgnn": _graph(ASTGNNForecaster),
+    "stfgnn": _stfgnn,
     # spatial-aware
-    "enhancenet": lambda ds, h, u, s: EnhanceNetForecaster(ds.num_sensors, ds.adjacency, h, u, seed=s),
-    "agcrn": lambda ds, h, u, s: AGCRNForecaster(ds.num_sensors, h, u, seed=s),
+    "enhancenet": _graph(EnhanceNetForecaster),
+    "agcrn": _agcrn,
     "gru+s": _gru_enhanced("spatial"),
     "att+s": _att_enhanced("spatial"),
     "tcn+s": _tcn_enhanced("spatial"),
     # temporal-aware
-    "meta-lstm": lambda ds, h, u, s: MetaLSTMForecaster(h, u, seed=s),
+    "meta-lstm": _plain(MetaLSTMForecaster),
     # spatio-temporal aware (ours)
-    "st-wa": _st_wa,
+    "st-wa": _st_wa_family(make_st_wa, _ST_WA_DEFAULTS),
     "gru+st": _gru_enhanced("st"),
     "att+st": _att_enhanced("st"),
     "tcn+st": _tcn_enhanced("st"),
     # ablations
-    "s-wa": _s_wa,
-    "wa": _wa,
-    "wa-1": _wa1,
-    "st-wa-det": _st_wa_det,
-    "st-wa-mean": _st_wa_mean,
+    "s-wa": _st_wa_family(make_s_wa, _ST_WA_DEFAULTS),
+    "wa": _st_wa_family(make_wa, _WA_DEFAULTS),
+    "wa-1": _st_wa_family(make_wa1, _WA_DEFAULTS),
+    "st-wa-det": _st_wa_family(make_deterministic_st_wa, _ST_WA_DEFAULTS),
+    "st-wa-mean": _st_wa_family(make_mean_aggregator_st_wa, _ST_WA_DEFAULTS),
     # extension: normalizing-flow latents (the paper's stated future work)
-    "st-wa-flow": lambda ds, h, u, s: make_flow_st_wa(
-        ds.num_sensors, history=h, horizon=u, seed=s, model_dim=24, latent_dim=12, skip_dim=48, predictor_hidden=196
-    ),
+    "st-wa-flow": _st_wa_family(make_flow_st_wa, _ST_WA_DEFAULTS),
 }
 
 #: architecture family per model, for the analytic memory model (Table VI)
@@ -194,16 +370,39 @@ MODEL_FAMILIES: Dict[str, str] = {
 
 
 def available_models() -> list[str]:
-    """Names accepted by :func:`build_model`."""
+    """Names accepted by :func:`build_from_spec` / :func:`build_model`."""
     return sorted(MODEL_BUILDERS)
 
 
-def build_model(name: str, dataset: TrafficDataset, history: int, horizon: int, seed: int = 0) -> Module:
-    """Instantiate a model by its paper name for the given dataset/task."""
+def build_from_spec(name: str, spec: BuildSpec) -> Module:
+    """Instantiate a model by its paper name from a :class:`BuildSpec`."""
     key = name.lower()
     if key not in MODEL_BUILDERS:
         raise KeyError(f"unknown model {name!r}; available: {available_models()}")
-    return MODEL_BUILDERS[key](dataset, history, horizon, seed)
+    builder = MODEL_BUILDERS[key]
+    if _is_legacy_builder(builder):
+        # registered by direct dict assignment, bypassing register_model
+        builder = MODEL_BUILDERS[key] = adapt_legacy_builder(builder)
+    return builder(spec)
+
+
+def build_model(
+    name: str,
+    dataset: TrafficDataset,
+    history: int,
+    horizon: int,
+    seed: int = 0,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> Module:
+    """Positional convenience wrapper over :func:`build_from_spec`."""
+    spec = BuildSpec(
+        dataset=dataset,
+        history=history,
+        horizon=horizon,
+        seed=seed,
+        overrides=dict(overrides or {}),
+    )
+    return build_from_spec(name, spec)
 
 
 def model_family(name: str) -> str:

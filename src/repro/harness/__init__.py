@@ -3,7 +3,9 @@
 ``EXPERIMENTS`` maps experiment ids to their ``run`` callables; each returns
 a :class:`TableResult` whose rows mirror the paper's layout.  Wall time is
 controlled by :class:`RunSettings` (scopes: smoke / quick / standard,
-selectable via the ``REPRO_SCOPE`` environment variable).
+constructed explicitly via :meth:`RunSettings.from_scope`).  The ``profile``
+module backs ``python -m repro.harness profile <model>`` — an op/module
+runtime profile built on :mod:`repro.obs`.
 """
 
 from typing import Callable, Dict
@@ -13,6 +15,7 @@ from . import (
     horizon_report,
     figure9,
     figure10,
+    profile,
     table4,
     table5,
     table6,
@@ -53,6 +56,7 @@ __all__ = [
     "fmt",
     "RunSettings",
     "get_dataset",
+    "profile",
     "train_and_score",
     "train_and_score_model",
 ]

@@ -1,11 +1,15 @@
-"""CLI: regenerate any (or every) paper table/figure.
+"""CLI: regenerate any (or every) paper table/figure, or profile a model.
 
 Usage::
 
     python -m repro.harness table4 table8 --scope quick
     python -m repro.harness all --scope smoke --out results/
+    python -m repro.harness profile st-wa --out results/
 
-Results are printed and saved as text files under ``--out``.
+``profile <model> [<model> ...]`` runs a short instrumented training pass
+and prints the top-K op/module runtime table; the full breakdown lands in
+``<out>/profile_<model>.json``.  Other results are printed and saved as
+text files under ``--out``.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ import sys
 import time
 from pathlib import Path
 
-from . import EXPERIMENTS, RunSettings
+from . import EXPERIMENTS, RunSettings, profile
 
 
 def main(argv=None) -> int:
@@ -23,23 +27,39 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+        help=(
+            f"experiment ids ({', '.join(sorted(EXPERIMENTS))}), 'all', or "
+            "'profile <model> [...]' for an op/module runtime profile"
+        ),
     )
     parser.add_argument("--scope", default="smoke", choices=["smoke", "quick", "standard"])
     parser.add_argument("--out", default="results", help="directory for saved table text files")
+    parser.add_argument("--top-k", type=int, default=12, help="rows per section in profile tables")
     args = parser.parse_args(argv)
+
+    settings = RunSettings.from_scope(args.scope)
+    out_dir = Path(args.out)
+
+    if args.experiments[0] == "profile":
+        models = args.experiments[1:]
+        if not models:
+            parser.error("profile requires at least one model name, e.g. 'profile st-wa'")
+        for model_name in models:
+            start = time.perf_counter()
+            result = profile.run(
+                model_name=model_name, settings=settings, top_k=args.top_k, out_dir=out_dir
+            )
+            elapsed = time.perf_counter() - start
+            print(result.to_text())
+            print(f"[profile {model_name} done in {elapsed:.1f}s]\n", flush=True)
+            result.save(out_dir)
+        return 0
 
     requested = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [e for e in requested if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
 
-    settings = {
-        "smoke": RunSettings.smoke,
-        "quick": RunSettings.quick,
-        "standard": RunSettings.standard,
-    }[args.scope]()
-    out_dir = Path(args.out)
     for experiment_id in requested:
         start = time.perf_counter()
         result = EXPERIMENTS[experiment_id](settings=settings)

@@ -34,7 +34,7 @@ def run(
     for history in histories:
         for model in models:
             result = train_and_score(model, dataset, history, horizon, timing_settings)
-            seconds[model].append(result["seconds_per_epoch"])
+            seconds[model].append(result["seconds_per_epoch_warm"])
     headers = ["Model", *[f"H={h}" for h in histories], "growth x (H12->H120)"]
     rows = []
     for model in models:

@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..baselines import build_model
+from ..baselines import BuildSpec, build_from_spec
 from ..data import BatchIterator, SlidingWindowDataset, WindowSpec
 from ..tensor import Tensor, no_grad
 from ..training import Trainer, TrainerConfig, horizon_breakdown
@@ -38,7 +38,9 @@ def run(
     spec = WindowSpec(history, horizon)
     per_model = {}
     for name in models:
-        model = build_model(name, dataset, history, horizon, seed=settings.seed)
+        model = build_from_spec(
+            name, BuildSpec(dataset=dataset, history=history, horizon=horizon, seed=settings.seed)
+        )
         config = TrainerConfig(
             lr=settings.lr,
             epochs=settings.epochs,

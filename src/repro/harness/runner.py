@@ -7,19 +7,23 @@ Scopes trade fidelity for wall time (all on the simulated datasets):
 * ``quick``    — minutes per model; resolves most of the paper's orderings.
 * ``standard`` — the most faithful setting feasible on CPU.
 
-Select via the ``REPRO_SCOPE`` environment variable or pass
-:class:`RunSettings` explicitly.
+Construct settings explicitly with :meth:`RunSettings.from_scope` (or the
+``smoke()`` / ``quick()`` / ``standard()`` factories).  The historical
+``REPRO_SCOPE`` environment-variable side channel still works through
+:meth:`RunSettings.from_env` but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
-from ..baselines import build_model
+from ..baselines import BuildSpec, build_from_spec
 from ..data import TrafficDataset, WindowSpec, load_dataset
+from ..obs import MetricsSink
 from ..training import Trainer, TrainerConfig
 
 #: models that are fit analytically (or not at all) rather than by SGD
@@ -28,7 +32,12 @@ NON_TRAINED = {"persistence", "windowmean", "var"}
 
 @dataclass(frozen=True)
 class RunSettings:
-    """Wall-time scoped training settings for harness runs."""
+    """Wall-time scoped training settings for harness runs.
+
+    ``sink`` (optional) is a :class:`repro.obs.MetricsSink` that every table
+    harness threads into the :class:`Trainer` so runs leave a structured
+    JSONL runtime trace.
+    """
 
     scope: str = "smoke"
     profile: str = "fast"
@@ -39,6 +48,7 @@ class RunSettings:
     lr: float = 8e-3
     patience: int = 50
     seed: int = 0
+    sink: Optional[MetricsSink] = field(default=None, compare=False)
 
     @classmethod
     def smoke(cls) -> "RunSettings":
@@ -53,13 +63,29 @@ class RunSettings:
         return cls(scope="standard", epochs=40, max_batches=30, eval_batches=None, lr=6e-3, patience=10)
 
     @classmethod
-    def from_env(cls, default: str = "smoke") -> "RunSettings":
-        """Pick a scope from ``REPRO_SCOPE`` (smoke | quick | standard)."""
-        scope = os.environ.get("REPRO_SCOPE", default).lower()
+    def from_scope(cls, name: str) -> "RunSettings":
+        """Explicit constructor: ``name`` is smoke | quick | standard."""
         factories = {"smoke": cls.smoke, "quick": cls.quick, "standard": cls.standard}
-        if scope not in factories:
-            raise KeyError(f"REPRO_SCOPE must be one of {sorted(factories)}, got {scope!r}")
-        return factories[scope]()
+        key = name.lower()
+        if key not in factories:
+            raise KeyError(f"scope must be one of {sorted(factories)}, got {name!r}")
+        return factories[key]()
+
+    @classmethod
+    def from_env(cls, default: str = "smoke") -> "RunSettings":
+        """Deprecated: pick a scope from the ``REPRO_SCOPE`` env var.
+
+        Prefer :meth:`from_scope` (or passing :class:`RunSettings` all the
+        way down); the environment side channel made scope selection
+        invisible at call sites.
+        """
+        warnings.warn(
+            "RunSettings.from_env()/REPRO_SCOPE is deprecated; construct settings "
+            "explicitly with RunSettings.from_scope(name)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls.from_scope(os.environ.get("REPRO_SCOPE", default))
 
     def with_overrides(self, **kwargs) -> "RunSettings":
         return replace(self, **kwargs)
@@ -86,9 +112,12 @@ def train_and_score(
     """Train ``model_name`` on ``dataset`` and return test metrics + costs.
 
     Returns keys: ``mae``, ``rmse``, ``mape``, ``seconds_per_epoch``,
-    ``train_seconds``, ``parameters``, ``epochs_run``.
+    ``seconds_per_epoch_warm``, ``train_seconds``, ``parameters``,
+    ``epochs_run``.  The warm figure skips the JIT-/cache-cold first epoch
+    and is what the runtime tables report.
     """
-    model = build_model(model_name, dataset, history, horizon, seed=settings.seed)
+    spec = BuildSpec(dataset=dataset, history=history, horizon=horizon, seed=settings.seed)
+    model = build_from_spec(model_name, spec)
     return train_and_score_model(model, dataset, history, horizon, settings, name=model_name)
 
 
@@ -114,19 +143,23 @@ def train_and_score_model(
         max_batches_per_epoch=settings.max_batches,
         eval_batches=settings.eval_batches,
         seed=settings.seed,
+        sink=settings.sink,
     )
     trainer = Trainer(model, dataset, spec, config)
     start = time.perf_counter()
     if name.lower() in NON_TRAINED or not model.parameters():
         seconds_per_epoch = 0.0
+        seconds_per_epoch_warm = 0.0
         epochs_run = 0
     else:
         history_record = trainer.fit()
         seconds_per_epoch = history_record.seconds_per_epoch
+        seconds_per_epoch_warm = history_record.seconds_per_epoch_warm
         epochs_run = history_record.epochs_run
     train_seconds = time.perf_counter() - start
     metrics = trainer.evaluate("test", max_batches=settings.eval_batches)
     metrics["seconds_per_epoch"] = seconds_per_epoch
+    metrics["seconds_per_epoch_warm"] = seconds_per_epoch_warm
     metrics["train_seconds"] = train_seconds
     metrics["parameters"] = float(model.num_parameters())
     metrics["epochs_run"] = float(epochs_run)

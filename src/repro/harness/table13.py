@@ -46,7 +46,7 @@ def run(
             fmt(results[p]["mae"]),
             fmt(results[p]["mape"]),
             fmt(results[p]["rmse"]),
-            fmt(results[p]["seconds_per_epoch"]),
+            fmt(results[p]["seconds_per_epoch_warm"]),
             str(int(results[p]["parameters"])),
         ]
         for p in proxies

@@ -52,7 +52,7 @@ def run(
             ],
         ]
     )
-    rows.append(["Training (s/epoch)", *[fmt(results[m]["seconds_per_epoch"]) for m in models]])
+    rows.append(["Training (s/epoch)", *[fmt(results[m]["seconds_per_epoch_warm"]) for m in models]])
     rows.append(["# Para", *[str(int(results[m]["parameters"])) for m in models]])
     return TableResult(
         experiment_id="table8",

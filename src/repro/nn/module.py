@@ -22,6 +22,20 @@ class Parameter(Tensor):
         super().__init__(data, requires_grad=True, name=name)
 
 
+class RemovableHandle:
+    """Deregisters a hook when :meth:`remove` is called."""
+
+    _next_id = 0
+
+    def __init__(self, registry: Dict[int, object]):
+        self._registry = registry
+        self.id = RemovableHandle._next_id
+        RemovableHandle._next_id += 1
+
+    def remove(self) -> None:
+        self._registry.pop(self.id, None)
+
+
 class Module:
     """Base class for all neural-network components.
 
@@ -34,6 +48,8 @@ class Module:
     def __init__(self):
         object.__setattr__(self, "_parameters", {})
         object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_forward_pre_hooks", {})
+        object.__setattr__(self, "_forward_hooks", {})
         object.__setattr__(self, "training", True)
 
     # ------------------------------------------------------------------ #
@@ -78,6 +94,17 @@ class Module:
         for module in self._modules.values():
             yield from module.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs, root first.
+
+        The root's name is ``prefix`` (empty by default); children append
+        their attribute names, e.g. ``encoder.window_attention.0``.
+        """
+        yield prefix, self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(child_prefix)
+
     def num_parameters(self) -> int:
         """Total number of scalar learnable parameters."""
         return sum(parameter.size for parameter in self.parameters())
@@ -121,13 +148,44 @@ class Module:
             parameter.data = value.copy()
 
     # ------------------------------------------------------------------ #
+    # hooks
+    # ------------------------------------------------------------------ #
+    def register_forward_pre_hook(self, hook) -> RemovableHandle:
+        """Call ``hook(module, args)`` before every forward of this module."""
+        handle = RemovableHandle(self._forward_pre_hooks)
+        self._forward_pre_hooks[handle.id] = hook
+        return handle
+
+    def register_forward_hook(self, hook) -> RemovableHandle:
+        """Call ``hook(module, args, output)`` after every forward.
+
+        A hook returning a non-``None`` value replaces the output (mirrors
+        the PyTorch contract, and lets wrappers rewrite activations).
+        """
+        handle = RemovableHandle(self._forward_hooks)
+        self._forward_hooks[handle.id] = hook
+        return handle
+
+    # ------------------------------------------------------------------ #
     # call protocol
     # ------------------------------------------------------------------ #
     def forward(self, *args, **kwargs):
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        # dict.get keeps pre-hook-era pickles / exotic subclasses working
+        pre_hooks = self.__dict__.get("_forward_pre_hooks")
+        if pre_hooks:
+            for hook in tuple(pre_hooks.values()):
+                hook(self, args)
+        output = self.forward(*args, **kwargs)
+        post_hooks = self.__dict__.get("_forward_hooks")
+        if post_hooks:
+            for hook in tuple(post_hooks.values()):
+                result = hook(self, args, output)
+                if result is not None:
+                    output = result
+        return output
 
     def __repr__(self) -> str:
         children = ", ".join(self._modules)

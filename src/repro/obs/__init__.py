@@ -1,0 +1,36 @@
+"""Observability layer: op-level profiling, module spans, metric sinks.
+
+Three independent pieces, usable together or alone:
+
+* :func:`profile` / :class:`Profiler` — record per-op call counts, wall
+  time, FLOP estimates and array bytes for forward *and* backward passes of
+  every :mod:`repro.tensor.ops` primitive (near-zero cost when inactive).
+* :func:`module_spans` — attribute forward wall time to qualified
+  ``nn.Module`` names via forward hooks (``profile(model=m)`` does this
+  automatically).
+* :class:`MetricsSink` and friends — structured JSONL event streams emitted
+  by the :class:`repro.training.Trainer` loop and the harness.
+
+See DESIGN.md section "Observability" for the event schema and examples.
+"""
+
+from .profiler import OpStat, Profiler, SpanStat, current_profiler, is_profiling, profile
+from .sinks import Event, JsonlSink, ListSink, MetricsSink, NullSink, TeeSink, read_jsonl
+from .spans import module_spans
+
+__all__ = [
+    "Profiler",
+    "OpStat",
+    "SpanStat",
+    "profile",
+    "current_profiler",
+    "is_profiling",
+    "module_spans",
+    "MetricsSink",
+    "NullSink",
+    "ListSink",
+    "JsonlSink",
+    "TeeSink",
+    "Event",
+    "read_jsonl",
+]

@@ -1,0 +1,114 @@
+"""Pluggable metric sinks: structured training/profiling events as JSONL.
+
+A :class:`MetricsSink` receives flat ``dict`` events (JSON-serializable
+values only) from the :class:`repro.training.Trainer` loop and from the
+harness.  The schema is deliberately minimal — every event carries an
+``"event"`` discriminator plus event-specific fields; see DESIGN.md
+("Observability") for the full catalogue.
+
+Implementations:
+
+* :class:`NullSink`   — discards everything (the disabled default).
+* :class:`ListSink`   — in-memory accumulation (tests, notebooks).
+* :class:`JsonlSink`  — one JSON object per line on disk; the format the
+  harness writes under ``results/`` and that :func:`read_jsonl` loads back.
+* :class:`TeeSink`    — fan one event stream out to several sinks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Union
+
+PathLike = Union[str, Path]
+
+Event = Dict[str, object]
+
+
+class MetricsSink:
+    """Base class for event consumers; subclasses override :meth:`emit`."""
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources (no-op by default)."""
+
+    def __enter__(self) -> "MetricsSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(MetricsSink):
+    """Sink that drops every event (zero-cost observability off-switch)."""
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        pass
+
+
+class ListSink(MetricsSink):
+    """Sink that keeps events in memory, in arrival order."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        self.events.append(dict(event))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_type(self, kind: str) -> List[Event]:
+        """Events whose ``"event"`` field equals ``kind``."""
+        return [e for e in self.events if e.get("event") == kind]
+
+
+class JsonlSink(MetricsSink):
+    """Sink that appends one compact JSON object per line to ``path``.
+
+    The file handle is opened lazily on the first event so constructing a
+    sink never touches the filesystem; :meth:`close` (or use as a context
+    manager) flushes it.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(dict(event), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class TeeSink(MetricsSink):
+    """Sink that forwards each event to every child sink."""
+
+    def __init__(self, *sinks: MetricsSink) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_jsonl(path: PathLike) -> Iterator[Event]:
+    """Yield the events of a JSONL file written by :class:`JsonlSink`."""
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

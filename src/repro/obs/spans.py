@@ -1,0 +1,45 @@
+"""Module-scoped timing spans via ``nn.Module`` forward hooks.
+
+Attaches a pre-hook/post-hook pair to every submodule of a model so that
+wall time becomes attributable to qualified module names — e.g. an ST-WA
+forecaster produces spans like ``encoder.window_attention.0`` — without the
+model code knowing anything about profiling.  Spans measure *inclusive*
+forward time (a parent span contains its children).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, List
+
+from .profiler import Profiler
+
+
+@contextmanager
+def module_spans(model, profiler: Profiler, prefix: str = "") -> Iterator[Profiler]:
+    """Record per-module forward wall time into ``profiler.spans``.
+
+    Hooks are removed on exit, so the model is left untouched.  Re-entrant
+    calls (a module invoked several times per step) are handled with a
+    per-module stack of start times.
+    """
+    handles = []
+    try:
+        for name, module in model.named_modules(prefix=prefix):
+            label = name or type(model).__name__
+            starts: List[float] = []
+
+            def pre_hook(mod, inputs, _starts=starts):
+                _starts.append(time.perf_counter())
+
+            def post_hook(mod, inputs, output, _starts=starts, _label=label):
+                if _starts:
+                    profiler.record_span(_label, time.perf_counter() - _starts.pop())
+
+            handles.append(module.register_forward_pre_hook(pre_hook))
+            handles.append(module.register_forward_hook(post_hook))
+        yield profiler
+    finally:
+        for handle in handles:
+            handle.remove()

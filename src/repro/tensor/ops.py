@@ -4,12 +4,18 @@ Every function takes tensors (or array-likes) and returns a new tensor whose
 backward closure routes gradients to the inputs.  Broadcasting follows NumPy
 semantics; the adjoint of broadcasting (summation back to the operand shape)
 is handled centrally by ``Tensor._accumulate`` via ``unbroadcast``.
+
+Every primitive here is wrapped with an optional trace hook (installed via
+:func:`set_op_trace`, normally by ``repro.obs.profile``) that reports per-op
+wall time, FLOP estimates and output bytes for forward and backward passes.
+With no hook installed the wrapper is a single global ``None`` check.
 """
 
 from __future__ import annotations
 
 import builtins
-from typing import Optional, Sequence, Tuple, Union
+import time as _time
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -529,3 +535,137 @@ def dropout_mask(a: ArrayLike, mask: np.ndarray) -> Tensor:
             a._accumulate(grad * mask)
 
     return Tensor._make(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------- #
+# op tracing (the repro.obs hook point)
+# --------------------------------------------------------------------- #
+#: hook(name, phase, seconds, flops, nbytes) or None when tracing is off
+TraceHook = Callable[[str, str, float, float, int], None]
+
+_trace_hook: Optional[TraceHook] = None
+
+
+def set_op_trace(hook: Optional[TraceHook]) -> Optional[TraceHook]:
+    """Install (or clear, with ``None``) the global op trace hook.
+
+    Returns the previously installed hook so callers can restore it —
+    ``repro.obs.profile`` uses this to support nested profiling contexts.
+    """
+    global _trace_hook
+    previous = _trace_hook
+    _trace_hook = hook
+    return previous
+
+
+#: FLOPs per *output* element for elementwise ops (rough analytic costs;
+#: transcendentals are charged a few flops, data movement is free)
+_ELEMENTWISE_FLOPS = {
+    "add": 1.0,
+    "sub": 1.0,
+    "mul": 1.0,
+    "div": 1.0,
+    "neg": 1.0,
+    "power": 2.0,
+    "exp": 4.0,
+    "log": 4.0,
+    "sqrt": 2.0,
+    "abs": 1.0,
+    "maximum": 1.0,
+    "minimum": 1.0,
+    "clip": 2.0,
+    "where": 1.0,
+    "tanh": 6.0,
+    "sigmoid": 6.0,
+    "relu": 1.0,
+    "leaky_relu": 2.0,
+    "softplus": 8.0,
+    "softmax": 8.0,
+    "log_softmax": 8.0,
+    "dropout_mask": 1.0,
+    # data movement: no arithmetic
+    "transpose": 0.0,
+    "swapaxes": 0.0,
+    "reshape": 0.0,
+    "getitem": 0.0,
+    "concat": 0.0,
+    "stack": 0.0,
+    "pad": 0.0,
+    "broadcast_to": 0.0,
+}
+
+#: reductions are charged one flop per *input* element
+_REDUCTION_OPS = frozenset({"sum", "mean", "max"})
+
+
+def _operand_size(value: ArrayLike) -> int:
+    if isinstance(value, Tensor):
+        return value.data.size
+    return int(np.size(value))
+
+
+def _estimate_flops(name: str, out_data: np.ndarray, args: tuple) -> float:
+    """Analytic forward-FLOP estimate for one traced op call."""
+    if name == "matmul":
+        a = args[0]
+        inner = (a.data if isinstance(a, Tensor) else np.asarray(a)).shape[-1]
+        return 2.0 * float(out_data.size) * float(inner)
+    if name in _REDUCTION_OPS and args:
+        return float(_operand_size(args[0]))
+    return float(out_data.size) * _ELEMENTWISE_FLOPS.get(name, 1.0)
+
+
+def _traced(name: str, fn):
+    """Wrap a primitive so an active trace hook sees forward and backward."""
+
+    def wrapper(*args, **kwargs):
+        hook = _trace_hook
+        if hook is None:
+            return fn(*args, **kwargs)
+        start = _time.perf_counter()
+        out = fn(*args, **kwargs)
+        elapsed = _time.perf_counter() - start
+        nbytes = int(out.data.nbytes)
+        flops = _estimate_flops(name, out.data, args)
+        hook(name, "forward", elapsed, flops, nbytes)
+        inner = out._backward_fn
+        if inner is not None:
+            # Backward FLOPs are charged at the conventional 2x forward; the
+            # gradient array has the output's shape, hence the same bytes.
+            def traced_backward(grad: np.ndarray, _inner=inner) -> None:
+                backward_hook = _trace_hook
+                if backward_hook is None:
+                    _inner(grad)
+                    return
+                t0 = _time.perf_counter()
+                _inner(grad)
+                backward_hook(name, "backward", _time.perf_counter() - t0, 2.0 * flops, nbytes)
+
+            out._backward_fn = traced_backward
+        return out
+
+    wrapper.__name__ = fn.__name__
+    wrapper.__qualname__ = fn.__qualname__
+    wrapper.__doc__ = fn.__doc__
+    wrapper.__wrapped__ = fn
+    return wrapper
+
+
+#: the primitive ops exposed to tracing; ``var`` and ``min`` are composites
+#: whose constituent primitives are traced instead
+TRACED_OPS = (
+    "add", "sub", "mul", "div", "neg", "power", "exp", "log", "sqrt", "abs",
+    "maximum", "minimum", "clip", "where", "tanh", "sigmoid", "relu",
+    "leaky_relu", "softplus", "matmul", "transpose", "swapaxes", "reshape",
+    "getitem", "concat", "stack", "pad", "broadcast_to", "sum", "mean", "max",
+    "softmax", "log_softmax", "dropout_mask",
+)
+
+
+def _install_tracing() -> None:
+    namespace = globals()
+    for op_name in TRACED_OPS:
+        namespace[op_name] = _traced(op_name, namespace[op_name])
+
+
+_install_tracing()

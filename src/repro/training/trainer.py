@@ -6,6 +6,12 @@ our substrate and additionally records per-epoch wall time (for the runtime
 figures) and supports a ``max_batches_per_epoch`` cap so the fast CI profile
 finishes in seconds.
 
+Observability: when ``TrainerConfig.sink`` is set, the loop emits a
+structured event stream (``train_begin`` / ``batch`` / ``epoch`` /
+``train_end`` dicts carrying loss, grad-norm, lr and wall seconds) through
+the :class:`repro.obs.MetricsSink`; DESIGN.md documents the schema.  With no
+sink configured nothing is built or emitted.
+
 Scaling convention: models operate in z-scored space; the loss compares
 against scaled targets while reported metrics are computed in raw units via
 the dataset's scaler.
@@ -23,6 +29,7 @@ from ..core.loss import STWALoss
 from ..data.datasets import TrafficDataset
 from ..data.windows import BatchIterator, SlidingWindowDataset, WindowSpec
 from ..nn import Module
+from ..obs import MetricsSink, NullSink
 from ..optim import Adam, EarlyStopping, clip_grad_norm
 from ..tensor import Tensor, no_grad
 from . import metrics as metrics_module
@@ -44,6 +51,7 @@ class TrainerConfig:
     eval_batches: Optional[int] = None
     seed: int = 0
     verbose: bool = False
+    sink: Optional[MetricsSink] = None  # structured event stream (JSONL etc.)
 
 
 @dataclass
@@ -53,6 +61,7 @@ class TrainingHistory:
     train_loss: List[float] = field(default_factory=list)
     val_mae: List[float] = field(default_factory=list)
     epoch_seconds: List[float] = field(default_factory=list)
+    grad_norms: List[float] = field(default_factory=list)  # mean pre-clip norm per epoch
     best_epoch: int = -1
     stopped_early: bool = False
 
@@ -62,7 +71,20 @@ class TrainingHistory:
 
     @property
     def seconds_per_epoch(self) -> float:
+        """Mean wall seconds over *all* epochs, including the cold first one."""
         return float(np.mean(self.epoch_seconds)) if self.epoch_seconds else 0.0
+
+    @property
+    def seconds_per_epoch_warm(self) -> float:
+        """Mean wall seconds skipping epoch 0.
+
+        The first epoch pays one-off costs (dataset windows materializing,
+        allocator and CPU-cache warmup) that inflate the average the runtime
+        harnesses report; skip it whenever more than one epoch ran.
+        """
+        if len(self.epoch_seconds) > 1:
+            return float(np.mean(self.epoch_seconds[1:]))
+        return self.seconds_per_epoch
 
 
 class Trainer:
@@ -84,6 +106,9 @@ class Trainer:
         self.dataset = dataset
         self.spec = spec
         self.config = config or TrainerConfig()
+        # explicit None check: an empty ListSink is falsy via __len__
+        self.sink: MetricsSink = NullSink() if self.config.sink is None else self.config.sink
+        self._observed = self.config.sink is not None  # skip event building when off
         self.loss_fn = STWALoss(delta=self.config.huber_delta, kl_weight=self.config.kl_weight)
         # non-learned baselines (persistence, fitted VAR) have no parameters
         parameters = model.parameters()
@@ -111,23 +136,61 @@ class Trainer:
             rng=self._rng,
             max_batches=cfg.max_batches_per_epoch,
         )
+        if self._observed:
+            self.sink.emit(
+                {
+                    "event": "train_begin",
+                    "model": type(self.model).__name__,
+                    "parameters": self.model.num_parameters(),
+                    "epochs": cfg.epochs,
+                    "batch_size": cfg.batch_size,
+                    "lr": cfg.lr,
+                    "seed": cfg.seed,
+                    "time": time.time(),
+                }
+            )
         for epoch in range(cfg.epochs):
             start = time.perf_counter()
             self.model.train()
             losses = []
-            for x_batch, y_raw in iterator:
-                loss = self._train_step(x_batch, y_raw)
+            norms = []
+            for batch_index, (x_batch, y_raw) in enumerate(iterator):
+                loss, grad_norm = self._train_step(x_batch, y_raw)
                 losses.append(loss)
+                norms.append(grad_norm)
+                if self._observed:
+                    self.sink.emit(
+                        {
+                            "event": "batch",
+                            "epoch": epoch,
+                            "batch": batch_index,
+                            "loss": loss,
+                            "grad_norm": grad_norm,
+                            "time": time.time(),
+                        }
+                    )
             history.train_loss.append(float(np.mean(losses)))
             history.epoch_seconds.append(time.perf_counter() - start)
+            history.grad_norms.append(float(np.mean(norms)))
 
             val = self.evaluate("val", max_batches=cfg.eval_batches)
             history.val_mae.append(val["mae"])
-            if stopper.improved_last_update or stopper.best is None:
-                pass
             should_stop = stopper.update(val["mae"], epoch)
             if stopper.improved_last_update:
                 best_state = self.model.state_dict()
+            if self._observed:
+                self.sink.emit(
+                    {
+                        "event": "epoch",
+                        "epoch": epoch,
+                        "train_loss": history.train_loss[-1],
+                        "val_mae": float(val["mae"]),
+                        "grad_norm": history.grad_norms[-1],
+                        "lr": cfg.lr,
+                        "seconds": history.epoch_seconds[-1],
+                        "time": time.time(),
+                    }
+                )
             if cfg.verbose:
                 print(
                     f"epoch {epoch:3d} loss={history.train_loss[-1]:.4f} "
@@ -138,9 +201,22 @@ class Trainer:
                 break
         history.best_epoch = stopper.best_epoch
         self.model.load_state_dict(best_state)
+        if self._observed:
+            self.sink.emit(
+                {
+                    "event": "train_end",
+                    "epochs_run": history.epochs_run,
+                    "best_epoch": history.best_epoch,
+                    "stopped_early": history.stopped_early,
+                    "seconds_per_epoch": history.seconds_per_epoch,
+                    "seconds_per_epoch_warm": history.seconds_per_epoch_warm,
+                    "time": time.time(),
+                }
+            )
         return history
 
-    def _train_step(self, x_batch: np.ndarray, y_raw: np.ndarray) -> float:
+    def _train_step(self, x_batch: np.ndarray, y_raw: np.ndarray) -> tuple:
+        """One optimizer step; returns ``(loss, pre-clip grad norm)``."""
         scaled_target = Tensor(self.dataset.scaler.transform(y_raw))
         self.optimizer.zero_grad()
         prediction = self.model(Tensor(x_batch))
@@ -152,10 +228,10 @@ class Trainer:
                 "rate or tighten grad_clip"
             )
         loss.backward()
-        if self.config.grad_clip:
-            clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+        max_norm = self.config.grad_clip if self.config.grad_clip else float("inf")
+        grad_norm = clip_grad_norm(self.optimizer.parameters, max_norm)
         self.optimizer.step()
-        return value
+        return value, grad_norm
 
     # ------------------------------------------------------------------ #
     def evaluate(self, split: str = "test", max_batches: Optional[int] = None) -> Dict[str, float]:

@@ -54,6 +54,18 @@ class TestHarnessCLI:
         assert (tmp_path / "table11.txt").exists()
         assert "table11" in capsys.readouterr().out
 
+    def test_profile_subcommand(self, tmp_path, capsys):
+        code = harness_main(["profile", "gru", "--scope", "smoke", "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "profile_gru.json").exists()
+        assert (tmp_path / "profile_gru.txt").exists()
+        out = capsys.readouterr().out
+        assert "matmul" in out  # top-op table printed
+
+    def test_profile_requires_model(self):
+        with pytest.raises(SystemExit):
+            harness_main(["profile"])
+
 
 class TestSummaryCLI:
     def test_usage_error(self, capsys):

@@ -18,11 +18,18 @@ class TestRunSettings:
         assert RunSettings.quick().epochs > RunSettings.smoke().epochs
         assert RunSettings.standard().epochs > RunSettings.quick().epochs
 
-    def test_from_env(self, monkeypatch):
-        monkeypatch.setenv("REPRO_SCOPE", "quick")
-        assert RunSettings.from_env().scope == "quick"
-        monkeypatch.setenv("REPRO_SCOPE", "galactic")
+    def test_from_scope(self):
+        assert RunSettings.from_scope("quick").scope == "quick"
+        assert RunSettings.from_scope("SMOKE").scope == "smoke"
         with pytest.raises(KeyError):
+            RunSettings.from_scope("galactic")
+
+    def test_from_env_still_works_but_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCOPE", "quick")
+        with pytest.warns(DeprecationWarning):
+            assert RunSettings.from_env().scope == "quick"
+        monkeypatch.setenv("REPRO_SCOPE", "galactic")
+        with pytest.warns(DeprecationWarning), pytest.raises(KeyError):
             RunSettings.from_env()
 
     def test_with_overrides(self):
@@ -39,7 +46,11 @@ class TestRunner:
     def test_train_and_score_keys(self):
         dataset = get_dataset("PEMS08", "fast")
         result = train_and_score("gru", dataset, 12, 12, MICRO)
-        assert {"mae", "rmse", "mape", "seconds_per_epoch", "train_seconds", "parameters", "epochs_run"} <= set(result)
+        expected = {
+            "mae", "rmse", "mape", "seconds_per_epoch", "seconds_per_epoch_warm",
+            "train_seconds", "parameters", "epochs_run",
+        }
+        assert expected <= set(result)
         assert result["epochs_run"] == 1
 
     def test_non_trained_models_skip_fitting(self):
@@ -47,6 +58,36 @@ class TestRunner:
         result = train_and_score("persistence", dataset, 12, 12, MICRO)
         assert result["epochs_run"] == 0
         assert result["mae"] > 0
+
+    def test_settings_sink_threads_into_trainer(self):
+        from repro.obs import ListSink
+
+        sink = ListSink()
+        dataset = get_dataset("PEMS08", "fast")
+        train_and_score("gru", dataset, 12, 12, MICRO.with_overrides(sink=sink))
+        kinds = {event["event"] for event in sink.events}
+        assert {"train_begin", "epoch", "train_end"} <= kinds
+
+
+class TestProfileHarness:
+    def test_profile_run_writes_json(self, tmp_path):
+        import json
+
+        from repro.harness import profile
+
+        result = profile.run("gru", settings=MICRO, dataset_name="PEMS08", out_dir=tmp_path)
+        path = tmp_path / "profile_gru.json"
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["ops"], "profile JSON must record ops"
+        assert payload["model"] == "gru"
+        assert any(row[0] == "module" for row in result.rows)
+
+    def test_profile_non_trained_model(self, tmp_path):
+        from repro.harness import profile
+
+        result = profile.run("persistence", settings=MICRO, dataset_name="PEMS08", out_dir=tmp_path)
+        assert result.extras["summary"]["ops"]  # forward-only ops still traced
 
 
 class TestReporting:
