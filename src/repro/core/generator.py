@@ -58,11 +58,25 @@ class ParameterDecoder(Module):
         self._scale = 1.0 / np.sqrt(max(hidden[-1], 1))
 
     def forward(self, theta: Tensor) -> Dict[str, Tensor]:
-        """Decode ``theta (..., k)`` to ``{name: (..., in, out)}`` matrices."""
-        flat = self.mlp(theta) * self._scale
+        """Decode ``theta (..., k)`` to ``{name: (..., in, out)}`` matrices.
+
+        Each named block is produced by its own fused ``linear`` over a
+        column slice of the final layer's weight, i.e.
+        ``(h @ W + b)[..., s:e] == h @ W[:, s:e] + b[s:e]``.  Slicing the
+        (small, 2-D) weight parameter instead of the (large, batched) MLP
+        output keeps the backward scatter on a few-hundred-KB buffer rather
+        than a full ``batch x sensors x total_size`` one — this was the
+        dominant ``getitem`` backward cost of an ST-WA step.
+        """
+        hidden = theta
+        last_index = len(self.mlp.layers) - 1
+        for i in range(last_index):
+            hidden = self.mlp._activation(self.mlp.layers[i](hidden))
+        head = self.mlp.layers[last_index]
         out: Dict[str, Tensor] = {}
         for name, (fan_in, fan_out) in self.shapes.items():
             start, stop = self._offsets[name]
-            block = flat[..., start:stop]
+            bias = head.bias[start:stop] if head.bias is not None else None
+            block = ops.linear(hidden, head.weight[:, start:stop], bias) * self._scale
             out[name] = ops.reshape(block, (*block.shape[:-1], fan_in, fan_out))
         return out

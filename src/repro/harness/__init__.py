@@ -5,13 +5,16 @@ a :class:`TableResult` whose rows mirror the paper's layout.  Wall time is
 controlled by :class:`RunSettings` (scopes: smoke / quick / standard,
 constructed explicitly via :meth:`RunSettings.from_scope`).  The ``profile``
 module backs ``python -m repro.harness profile <model>`` — an op/module
-runtime profile built on :mod:`repro.obs`.
+runtime profile built on :mod:`repro.obs` — and ``bench`` backs
+``python -m repro.harness bench``, the benchmark trajectory harness that
+writes ``BENCH_<date>.json`` perf snapshots.
 """
 
 from typing import Callable, Dict
 
 from . import (
     attention_scaling,
+    bench,
     horizon_report,
     figure9,
     figure10,
@@ -56,6 +59,7 @@ __all__ = [
     "fmt",
     "RunSettings",
     "get_dataset",
+    "bench",
     "profile",
     "train_and_score",
     "train_and_score_model",

@@ -1,15 +1,20 @@
-"""CLI: regenerate any (or every) paper table/figure, or profile a model.
+"""CLI: regenerate any paper table/figure, profile a model, or run the bench.
 
 Usage::
 
     python -m repro.harness table4 table8 --scope quick
     python -m repro.harness all --scope smoke --out results/
     python -m repro.harness profile st-wa --out results/
+    python -m repro.harness bench --scope smoke --check
 
 ``profile <model> [<model> ...]`` runs a short instrumented training pass
 and prints the top-K op/module runtime table; the full breakdown lands in
-``<out>/profile_<model>.json``.  Other results are printed and saved as
-text files under ``--out``.
+``<out>/profile_<model>.json``.  ``bench`` runs the fixed autodiff
+benchmark suite (op microbenchmarks + an instrumented ST-WA smoke epoch),
+writes ``<out>/BENCH_<date>.json`` with deltas vs the previous BENCH file,
+and with ``--check`` exits nonzero if the ST-WA smoke epoch regressed more
+than ``--max-regression``.  Other results are printed and saved as text
+files under ``--out``.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import sys
 import time
 from pathlib import Path
 
-from . import EXPERIMENTS, RunSettings, profile
+from . import EXPERIMENTS, RunSettings, bench, profile
 
 
 def main(argv=None) -> int:
@@ -35,10 +40,37 @@ def main(argv=None) -> int:
     parser.add_argument("--scope", default="smoke", choices=["smoke", "quick", "standard"])
     parser.add_argument("--out", default="results", help="directory for saved table text files")
     parser.add_argument("--top-k", type=int, default=12, help="rows per section in profile tables")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="bench only: exit nonzero if the ST-WA smoke epoch regressed vs the previous BENCH file",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="bench only: allowed relative slowdown of the ST-WA smoke epoch (default 0.25)",
+    )
     args = parser.parse_args(argv)
 
     settings = RunSettings.from_scope(args.scope)
     out_dir = Path(args.out)
+
+    if args.experiments[0] == "bench":
+        if len(args.experiments) > 1:
+            parser.error("bench takes no experiment arguments")
+        start = time.perf_counter()
+        result = bench.run(
+            settings=settings,
+            out_dir=out_dir,
+            check=args.check,
+            max_regression=args.max_regression,
+        )
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[bench done in {elapsed:.1f}s]\n", flush=True)
+        result.save(out_dir)
+        return 1 if result.extras.get("regressed") else 0
 
     if args.experiments[0] == "profile":
         models = args.experiments[1:]

@@ -1,0 +1,281 @@
+"""``python -m repro.harness bench`` — the perf trajectory harness.
+
+Runs a fixed suite — autodiff op microbenchmarks plus one instrumented
+ST-WA smoke epoch — and writes ``BENCH_<date>.json`` with wall times,
+engine-side gradient-allocation counts (see
+:func:`repro.tensor.set_grad_alloc_hook`), and per-benchmark / per-op deltas
+against the most recent previous ``BENCH_*.json`` in the output directory.
+Committing the JSON gives every future PR a perf baseline to diff against;
+``--check`` turns a >``--max-regression`` slowdown of the ST-WA smoke epoch
+into a nonzero exit for CI.
+
+The suite gradient-checks every optimized fast path
+(:func:`repro.tensor.gradcheck.check_fastpath_suite`) before timing
+anything, so a bench run is also a cheap correctness gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor, ops, set_grad_alloc_hook
+from ..tensor.gradcheck import check_fastpath_suite
+from .reporting import PathLike, TableResult, fmt
+from .runner import RunSettings
+
+#: repeats per microbenchmark, keyed by scope
+_REPEATS = {"smoke": 5, "quick": 15, "standard": 40}
+
+
+def _microbenchmarks(rng: np.random.Generator) -> List[Tuple[str, Callable[[], Tensor]]]:
+    """The fixed op suite: each entry builds a fresh graph and returns the loss.
+
+    Shapes mirror the reproduction's hot paths: ``(batch, sensors, time/
+    features)`` batches against shared 2-D weights, window slicing, per-node
+    gathers, and gate concatenation.
+    """
+    x_data = rng.standard_normal((32, 18, 12, 24))
+    w_data = rng.standard_normal((24, 24))
+    b_data = rng.standard_normal(24)
+    gen_w_data = rng.standard_normal((18, 24, 24))
+    gather_idx = rng.integers(0, 12, size=(32, 18, 4, 24))
+    fancy_idx = rng.integers(0, 32, size=64)
+
+    def tensors():
+        x = Tensor(x_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        return x, w, b
+
+    def matmul_shared():
+        x, w, _ = tensors()
+        return ops.matmul(x, w).sum()
+
+    def linear_fused():
+        x, w, b = tensors()
+        return ops.linear(x, w, b).sum()
+
+    def matmul_generated():
+        x, _, _ = tensors()
+        w = Tensor(gen_w_data, requires_grad=True)
+        return ops.matmul(x, w).sum()
+
+    def getitem_window_slices():
+        x, _, _ = tensors()
+        total = None
+        for start in range(0, 12, 3):
+            piece = x[:, :, start : start + 3, :].sum()
+            total = piece if total is None else total + piece
+        return total
+
+    def getitem_advanced():
+        x, _, _ = tensors()
+        return x[np.asarray(fancy_idx)].sum()
+
+    def gather_per_node():
+        x, _, _ = tensors()
+        return ops.gather(x, 2, gather_idx).sum()
+
+    def concat_gates():
+        x, w, b = tensors()
+        left = ops.linear(x, w, b)
+        right = ops.tanh(x)
+        return ops.concat([left, right], axis=-1).sum()
+
+    def elementwise_chain():
+        x, _, _ = tensors()
+        return ops.tanh(ops.sigmoid(x * 2.0) + x * x).sum()
+
+    return [
+        ("matmul_shared_weight", matmul_shared),
+        ("linear_fused", linear_fused),
+        ("matmul_generated_weight", matmul_generated),
+        ("getitem_window_slices", getitem_window_slices),
+        ("getitem_advanced_index", getitem_advanced),
+        ("gather_per_node", gather_per_node),
+        ("concat_gates", concat_gates),
+        ("elementwise_chain", elementwise_chain),
+    ]
+
+
+def _time_case(build: Callable[[], Tensor], repeats: int) -> Dict[str, float]:
+    """Best-of-``repeats`` forward+backward wall time plus grad-alloc counts."""
+    build().backward()  # warm caches outside the timed region
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        build().backward()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    allocs = {"count": 0, "bytes": 0}
+
+    def count(nbytes: int) -> None:
+        allocs["count"] += 1
+        allocs["bytes"] += nbytes
+
+    restore = set_grad_alloc_hook(count)
+    try:
+        build().backward()
+    finally:
+        set_grad_alloc_hook(restore)
+    return {
+        "seconds": best,
+        "repeats": repeats,
+        "grad_allocs": allocs["count"],
+        "grad_alloc_bytes": allocs["bytes"],
+    }
+
+
+def _st_wa_smoke(settings: RunSettings) -> Dict[str, object]:
+    """One instrumented ST-WA smoke training pass (same shape as ``profile``)."""
+    from . import profile as profile_mod
+
+    result = profile_mod.run(model_name="st-wa", settings=settings, out_dir=None)
+    summary = result.extras["summary"]
+    return {
+        "wall_seconds": summary["wall_seconds"],
+        "total_op_seconds": summary["total_op_seconds"],
+        "total_op_calls": summary["total_op_calls"],
+        "peak_bytes": summary["peak_bytes"],
+        "grad_allocs": summary["grad_allocs"],
+        "grad_alloc_bytes": summary["grad_alloc_bytes"],
+        "ops": {
+            f"{stat['name']}.{stat['phase']}": stat["seconds"] for stat in summary["ops"]
+        },
+    }
+
+
+def _find_previous(out_dir: Path, current_name: str) -> Optional[Path]:
+    """Most recent ``BENCH_*.json`` in ``out_dir`` other than ``current_name``."""
+    candidates = sorted(p for p in out_dir.glob("BENCH_*.json") if p.name != current_name)
+    return candidates[-1] if candidates else None
+
+
+def _relative_deltas(new: Dict[str, float], old: Dict[str, float]) -> Dict[str, float]:
+    """``(new - old) / old`` for every key present in both (old > 0)."""
+    deltas = {}
+    for key, new_value in new.items():
+        old_value = old.get(key)
+        if isinstance(old_value, (int, float)) and old_value > 0 and isinstance(new_value, (int, float)):
+            deltas[key] = (new_value - old_value) / old_value
+    return deltas
+
+
+def run(
+    settings: Optional[RunSettings] = None,
+    out_dir: Optional[PathLike] = "results",
+    date: Optional[str] = None,
+    check: bool = False,
+    max_regression: float = 0.25,
+) -> TableResult:
+    """Run the bench suite; write ``BENCH_<date>.json``; diff vs the previous.
+
+    With ``check=True`` the result's ``extras["regressed"]`` flags an ST-WA
+    smoke epoch more than ``max_regression`` slower than the previous BENCH
+    file (the CLI turns that flag into a nonzero exit code).
+    """
+    settings = settings or RunSettings.from_scope("smoke")
+    date = date or time.strftime("%Y-%m-%d")
+    gradcheck_cases = check_fastpath_suite()
+
+    rng = np.random.default_rng(0)
+    repeats = _REPEATS.get(settings.scope, 5)
+    micro: Dict[str, Dict[str, float]] = {}
+    for name, build in _microbenchmarks(rng):
+        micro[name] = _time_case(build, repeats)
+
+    st_wa = _st_wa_smoke(settings)
+
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "date": date,
+        "scope": settings.scope,
+        "gradcheck_cases": gradcheck_cases,
+        "micro": micro,
+        "st_wa_smoke": st_wa,
+    }
+
+    previous_name = None
+    deltas: Dict[str, object] = {}
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        bench_name = f"BENCH_{date}.json"
+        previous = _find_previous(out_path, bench_name)
+        if previous is not None:
+            previous_name = previous.name
+            old = json.loads(previous.read_text())
+            deltas = {
+                "micro_seconds": _relative_deltas(
+                    {k: v["seconds"] for k, v in micro.items()},
+                    {k: v.get("seconds") for k, v in old.get("micro", {}).items()},
+                ),
+                "st_wa_wall_seconds": _relative_deltas(
+                    {"wall": st_wa["wall_seconds"]},
+                    {"wall": old.get("st_wa_smoke", {}).get("wall_seconds")},
+                ).get("wall"),
+                "st_wa_ops": _relative_deltas(
+                    st_wa["ops"], old.get("st_wa_smoke", {}).get("ops", {})
+                ),
+            }
+        payload["previous"] = previous_name
+        payload["deltas_vs_previous"] = deltas or None
+        (out_path / bench_name).write_text(json.dumps(payload, indent=2) + "\n")
+
+    regressed = False
+    wall_delta = deltas.get("st_wa_wall_seconds") if deltas else None
+    if check and wall_delta is not None and wall_delta > max_regression:
+        regressed = True
+
+    headers = ["Benchmark", "Seconds", "Grad allocs", "Alloc MB", "Delta vs prev"]
+    micro_deltas = deltas.get("micro_seconds", {}) if deltas else {}
+    rows = []
+    for name, stats in micro.items():
+        delta = micro_deltas.get(name)
+        rows.append(
+            [
+                name,
+                fmt(stats["seconds"], 5),
+                str(stats["grad_allocs"]),
+                fmt(stats["grad_alloc_bytes"] / 1e6, 3),
+                f"{delta:+.1%}" if delta is not None else "-",
+            ]
+        )
+    rows.append(
+        [
+            "st_wa_smoke_epoch",
+            fmt(st_wa["wall_seconds"], 4),
+            str(st_wa["grad_allocs"]),
+            fmt(st_wa["grad_alloc_bytes"] / 1e6, 2),
+            f"{wall_delta:+.1%}" if wall_delta is not None else "-",
+        ]
+    )
+
+    notes = [
+        f"{gradcheck_cases} fast-path gradchecks passed before timing",
+        f"microbenchmarks best-of-{repeats}; ST-WA pass instrumented via repro.obs",
+    ]
+    if previous_name is not None:
+        notes.append(f"deltas vs {previous_name} (negative is faster)")
+    else:
+        notes.append("no previous BENCH_*.json found; this run is the new baseline")
+    if check:
+        status = "FAILED" if regressed else "ok"
+        notes.append(
+            f"regression check ({max_regression:.0%} on ST-WA smoke wall): {status}"
+        )
+
+    return TableResult(
+        experiment_id=f"BENCH_{date}",
+        title=f"Autodiff benchmark trajectory (scope={settings.scope}, {date})",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        extras={"payload": payload, "regressed": regressed},
+    )

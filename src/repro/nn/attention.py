@@ -60,13 +60,13 @@ class MultiHeadSelfAttention(Module):
         self.out_proj = Parameter(init.xavier_uniform((model_dim, model_dim), rng))
 
     def forward(self, x: Tensor) -> Tensor:
-        query = split_heads(ops.matmul(x, self.q_proj), self.num_heads)
-        key = split_heads(ops.matmul(x, self.k_proj), self.num_heads)
-        value = split_heads(ops.matmul(x, self.v_proj), self.num_heads)
+        query = split_heads(ops.linear(x, self.q_proj), self.num_heads)
+        key = split_heads(ops.linear(x, self.k_proj), self.num_heads)
+        value = split_heads(ops.linear(x, self.v_proj), self.num_heads)
         scale = 1.0 / np.sqrt(query.shape[-1])
         scores = ops.softmax(ops.matmul(query, ops.swapaxes(key, -1, -2)) * scale, axis=-1)
         context = merge_heads(ops.matmul(scores, value))
-        return ops.matmul(context, self.out_proj)
+        return ops.linear(context, self.out_proj)
 
 
 class SlidingWindowSelfAttention(Module):
@@ -107,11 +107,11 @@ class SlidingWindowSelfAttention(Module):
         seq_len = x.shape[-2]
         mask = self._band_mask(seq_len)
         inner = self.inner
-        query = split_heads(ops.matmul(x, inner.q_proj), inner.num_heads)
-        key = split_heads(ops.matmul(x, inner.k_proj), inner.num_heads)
-        value = split_heads(ops.matmul(x, inner.v_proj), inner.num_heads)
+        query = split_heads(ops.linear(x, inner.q_proj), inner.num_heads)
+        key = split_heads(ops.linear(x, inner.k_proj), inner.num_heads)
+        value = split_heads(ops.linear(x, inner.v_proj), inner.num_heads)
         scale = 1.0 / np.sqrt(query.shape[-1])
         logits = ops.matmul(query, ops.swapaxes(key, -1, -2)) * scale + Tensor(mask)
         scores = ops.softmax(logits, axis=-1)
         context = merge_heads(ops.matmul(scores, value))
-        return ops.matmul(context, inner.out_proj)
+        return ops.linear(context, inner.out_proj)

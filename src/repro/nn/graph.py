@@ -61,7 +61,7 @@ class GraphConv(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         mixed = ops.matmul(self.adj, x)
-        return ops.matmul(mixed, self.weight) + self.bias
+        return ops.linear(mixed, self.weight, self.bias)
 
 
 class ChebGraphConv(Module):
@@ -95,7 +95,7 @@ class ChebGraphConv(Module):
             terms.append(2.0 * ops.matmul(self.laplacian, terms[-1]) - terms[-2])
         out = None
         for term, weight in zip(terms, self.weights):
-            contribution = ops.matmul(term, weight)
+            contribution = ops.linear(term, weight)
             out = contribution if out is None else out + contribution
         return out + self.bias
 
@@ -130,13 +130,13 @@ class DiffusionGraphConv(Module):
         self.bias = Parameter(init.zeros(out_features))
 
     def forward(self, x: Tensor) -> Tensor:
-        out = ops.matmul(x, self.weights[0])
+        out = ops.linear(x, self.weights[0])
         index = 1
         for walk in (self.forward_walk, self.backward_walk):
             support = x
             for _ in range(self.steps):
                 support = ops.matmul(walk, support)
-                out = out + ops.matmul(support, self.weights[index])
+                out = out + ops.linear(support, self.weights[index])
                 index += 1
         return out + self.bias
 

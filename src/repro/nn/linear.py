@@ -29,10 +29,7 @@ class Linear(Module):
         self.bias = Parameter(init.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = ops.matmul(x, self.weight)
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return ops.linear(x, self.weight, self.bias)
 
 
 _ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {

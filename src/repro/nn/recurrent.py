@@ -32,8 +32,8 @@ class GRUCell(Module):
         self.bias = Parameter(init.zeros(3 * hidden_size))
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
-        gates_x = ops.matmul(x, self.weight_x) + self.bias
-        gates_h = ops.matmul(h, self.weight_h)
+        gates_x = ops.linear(x, self.weight_x, self.bias)
+        gates_h = ops.linear(h, self.weight_h)
         n = self.hidden_size
         reset = ops.sigmoid(gates_x[..., :n] + gates_h[..., :n])
         update = ops.sigmoid(gates_x[..., n : 2 * n] + gates_h[..., n : 2 * n])
@@ -55,7 +55,7 @@ class LSTMCell(Module):
 
     def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
         h, c = state
-        gates = ops.matmul(x, self.weight_x) + ops.matmul(h, self.weight_h) + self.bias
+        gates = ops.linear(x, self.weight_x, self.bias) + ops.linear(h, self.weight_h)
         n = self.hidden_size
         input_gate = ops.sigmoid(gates[..., :n])
         forget_gate = ops.sigmoid(gates[..., n : 2 * n])

@@ -67,10 +67,22 @@ class Profiler:
     spans: Dict[str, SpanStat] = field(default_factory=dict)
     started_at: float = field(default_factory=time.perf_counter)
     wall_seconds: float = 0.0
+    grad_allocs: int = 0  # gradient buffers the engine allocated (copy/zero-fill)
+    grad_alloc_bytes: int = 0
 
     # ------------------------------------------------------------------ #
     # recording (hot path — called once per traced op)
     # ------------------------------------------------------------------ #
+    def record_grad_alloc(self, nbytes: int) -> None:
+        """Count one engine-side gradient-buffer allocation.
+
+        Installed as the :func:`repro.tensor.set_grad_alloc_hook` while the
+        profiler is active; in-place accumulation exists precisely to keep
+        this number low, so the bench harness tracks it per run.
+        """
+        self.grad_allocs += 1
+        self.grad_alloc_bytes += nbytes
+
     def record_op(self, name: str, phase: str, seconds: float, flops: float, nbytes: int) -> None:
         stat = self.ops.get((name, phase))
         if stat is None:
@@ -126,6 +138,8 @@ class Profiler:
             "total_flops": self.total_flops,
             "total_op_calls": self.total_calls,
             "peak_bytes": self.peak_bytes,
+            "grad_allocs": self.grad_allocs,
+            "grad_alloc_bytes": self.grad_alloc_bytes,
             "ops": [asdict(stat) for stat in sorted(self.ops.values(), key=lambda s: s.seconds, reverse=True)],
             "spans": [asdict(span) for span in sorted(self.spans.values(), key=lambda s: s.seconds, reverse=True)],
         }
@@ -136,7 +150,8 @@ class Profiler:
             f"profiled {self.total_calls} op calls, "
             f"{self.total_op_seconds:.4f}s in ops, "
             f"{self.total_flops / 1e6:.1f} MFLOP est., "
-            f"peak array {self.peak_bytes / 1e6:.2f} MB"
+            f"peak array {self.peak_bytes / 1e6:.2f} MB, "
+            f"{self.grad_allocs} grad allocs ({self.grad_alloc_bytes / 1e6:.2f} MB)"
         ]
         header = f"{'op':<24}{'phase':<10}{'calls':>8}{'seconds':>10}{'MFLOP':>10}{'MB out':>10}"
         lines += [header, "-" * len(header)]
@@ -179,6 +194,7 @@ def profile(model=None) -> Iterator[Profiler]:
         time is attributable to qualified module names.
     """
     from ..tensor import ops as tensor_ops
+    from ..tensor import tensor as tensor_core
     from .spans import module_spans
 
     global _active
@@ -186,6 +202,7 @@ def profile(model=None) -> Iterator[Profiler]:
     previous = _active
     _active = prof
     restore_trace = tensor_ops.set_op_trace(prof.record_op)
+    restore_alloc = tensor_core.set_grad_alloc_hook(prof.record_grad_alloc)
     start = time.perf_counter()
     try:
         if model is not None:
@@ -196,4 +213,5 @@ def profile(model=None) -> Iterator[Profiler]:
     finally:
         prof.wall_seconds = time.perf_counter() - start
         tensor_ops.set_op_trace(restore_trace)
+        tensor_core.set_grad_alloc_hook(restore_alloc)
         _active = previous

@@ -20,7 +20,16 @@ from .functional import (
     reparameterize,
     scaled_dot_product_attention,
 )
-from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad, ones, unbroadcast, zeros
+from .tensor import (
+    Tensor,
+    as_tensor,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    set_grad_alloc_hook,
+    unbroadcast,
+    zeros,
+)
 
 __all__ = [
     "Tensor",
@@ -30,6 +39,7 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "unbroadcast",
+    "set_grad_alloc_hook",
     "ops",
     "functional",
     "gradcheck",

@@ -77,7 +77,15 @@ def reparameterize(mu: ArrayLike, log_var: ArrayLike, rng: Optional[np.random.Ge
 
 
 def linear(x: ArrayLike, weight: ArrayLike, bias: Optional[ArrayLike] = None) -> Tensor:
-    """Affine map ``x @ weight + bias`` (weight stored input-major)."""
+    """Affine map ``x @ weight + bias`` (weight stored input-major).
+
+    Shared 2-D weights dispatch to the fused :func:`repro.tensor.ops.linear`
+    kernel (one forward GEMM, single-GEMM weight gradient); per-sample
+    generated weights keep the batched ``matmul``/``add`` composite.
+    """
+    weight = as_tensor(weight)
+    if weight.data.ndim == 2:
+        return ops.linear(x, weight, bias)
     out = ops.matmul(x, weight)
     if bias is not None:
         out = out + as_tensor(bias)

@@ -63,3 +63,73 @@ def check_gradients(
                 f"gradient mismatch for input {i}: max abs error {worst:.3e}\n"
                 f"analytic:\n{analytic}\nnumeric:\n{numeric}"
             )
+
+
+def check_fastpath_suite(seed: int = 0) -> int:
+    """Gradient-check every optimized backward fast path in one sweep.
+
+    Covers the fused ``linear`` (with and without bias), ``gather`` (unique
+    and duplicated lanes), and every ``getitem`` scatter regime: basic
+    slices, negative steps, ellipsis, identity slices, and duplicated
+    advanced index arrays.  Returns the number of cases checked; raises
+    ``AssertionError`` on the first mismatch.  Used by the op test suite and
+    ``python -m repro.harness bench`` as a cheap correctness gate before
+    timing the kernels.
+    """
+    from . import ops
+
+    rng = np.random.default_rng(seed)
+
+    def t(shape):
+        return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+    cases = [
+        ("linear", lambda: check_gradients(ops.linear, [t((3, 4)), t((4, 5))])),
+        ("linear-bias", lambda: check_gradients(ops.linear, [t((2, 3, 4)), t((4, 5)), t((5,))])),
+        ("linear-1d-x", lambda: check_gradients(ops.linear, [t((4,)), t((4, 5)), t((5,))])),
+        (
+            "gather-unique",
+            lambda: check_gradients(
+                lambda x: ops.gather(x, 1, np.array([[0], [2], [1]])), [t((3, 4))]
+            ),
+        ),
+        (
+            "gather-duplicates",
+            lambda: check_gradients(
+                lambda x: ops.gather(x, 1, np.array([[0, 0, 3], [2, 2, 2], [1, 0, 1]])), [t((3, 4))]
+            ),
+        ),
+        (
+            "gather-axis0",
+            lambda: check_gradients(
+                lambda x: ops.gather(x, 0, np.array([[1, 0, 2, 1]])), [t((3, 4))]
+            ),
+        ),
+        ("getitem-int", lambda: check_gradients(lambda x: ops.getitem(x, 1), [t((3, 4))])),
+        ("getitem-slice", lambda: check_gradients(lambda x: ops.getitem(x, slice(0, 2)), [t((4, 3))])),
+        (
+            "getitem-negative-step",
+            lambda: check_gradients(lambda x: ops.getitem(x, slice(None, None, -2)), [t((5, 3))]),
+        ),
+        (
+            "getitem-ellipsis",
+            lambda: check_gradients(lambda x: ops.getitem(x, (Ellipsis, slice(1, 3))), [t((2, 3, 4))]),
+        ),
+        ("getitem-identity", lambda: check_gradients(lambda x: ops.getitem(x, slice(None)), [t((3, 4))])),
+        (
+            "getitem-duplicate-fancy",
+            lambda: check_gradients(lambda x: ops.getitem(x, np.array([0, 2, 2, 0])), [t((4, 3))]),
+        ),
+        (
+            "getitem-mixed-tuple",
+            lambda: check_gradients(
+                lambda x: ops.getitem(x, (slice(None), 1, slice(None, None, -1))), [t((2, 3, 4))]
+            ),
+        ),
+    ]
+    for name, case in cases:
+        try:
+            case()
+        except AssertionError as error:
+            raise AssertionError(f"fast-path gradcheck {name!r} failed: {error}") from error
+    return len(cases)

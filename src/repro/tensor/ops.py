@@ -5,6 +5,20 @@ backward closure routes gradients to the inputs.  Broadcasting follows NumPy
 semantics; the adjoint of broadcasting (summation back to the operand shape)
 is handled centrally by ``Tensor._accumulate`` via ``unbroadcast``.
 
+Backward closures follow two hot-path conventions (see
+``Tensor._accumulate``):
+
+* a closure that allocates a fresh gradient array (``grad * b.data``,
+  ``grad @ W.T``, …) passes ``own=True`` so the engine adopts the array as
+  the gradient buffer instead of copying it;
+* a closure that merely forwards the upstream gradient or a view of it
+  (``add``, ``reshape``, ``transpose``, slices) passes ``own=False`` —
+  the engine copies on first accumulation and ``+=``-s afterwards.
+
+Scatter-style backward (``getitem``, ``gather``) writes straight into the
+parent's preallocated buffer (``Tensor._grad_buffer``) with slice-``+=`` or
+``np.add.at``, never materializing a full-size temporary.
+
 Every primitive here is wrapped with an optional trace hook (installed via
 :func:`set_op_trace`, normally by ``repro.obs.profile``) that reports per-op
 wall time, FLOP estimates and output bytes for forward and backward passes.
@@ -50,7 +64,7 @@ def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
         if a.requires_grad:
             a._accumulate(grad)
         if b.requires_grad:
-            b._accumulate(-grad)
+            b._accumulate(np.negative(grad), own=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -62,9 +76,9 @@ def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * b.data)
+            a._accumulate(grad * b.data, own=True)
         if b.requires_grad:
-            b._accumulate(grad * a.data)
+            b._accumulate(grad * a.data, own=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -76,9 +90,9 @@ def div(a: ArrayLike, b: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad / b.data)
+            a._accumulate(grad / b.data, own=True)
         if b.requires_grad:
-            b._accumulate(-grad * a.data / (b.data * b.data))
+            b._accumulate(-grad * a.data / (b.data * b.data), own=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -89,7 +103,7 @@ def neg(a: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(-grad)
+            a._accumulate(np.negative(grad), own=True)
 
     return Tensor._make(-a.data, (a,), backward)
 
@@ -102,7 +116,7 @@ def power(a: ArrayLike, exponent: float) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * exponent * a.data ** (exponent - 1.0))
+            a._accumulate(grad * exponent * a.data ** (exponent - 1.0), own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -114,7 +128,7 @@ def exp(a: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * out_data)
+            a._accumulate(grad * out_data, own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -126,7 +140,7 @@ def log(a: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad / a.data)
+            a._accumulate(grad / a.data, own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -138,7 +152,7 @@ def sqrt(a: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * 0.5 / out_data)
+            a._accumulate(grad * 0.5 / out_data, own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -150,7 +164,7 @@ def abs(a: ArrayLike) -> Tensor:  # noqa: A001 - mirrors numpy naming
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * np.sign(a.data))
+            a._accumulate(grad * np.sign(a.data), own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -163,9 +177,9 @@ def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * a_wins)
+            a._accumulate(grad * a_wins, own=True)
         if b.requires_grad:
-            b._accumulate(grad * ~a_wins)
+            b._accumulate(grad * ~a_wins, own=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -178,9 +192,9 @@ def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * a_wins)
+            a._accumulate(grad * a_wins, own=True)
         if b.requires_grad:
-            b._accumulate(grad * ~a_wins)
+            b._accumulate(grad * ~a_wins, own=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -193,7 +207,7 @@ def clip(a: ArrayLike, low: float, high: float) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * inside)
+            a._accumulate(grad * inside, own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -206,9 +220,9 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * cond)
+            a._accumulate(grad * cond, own=True)
         if b.requires_grad:
-            b._accumulate(grad * ~cond)
+            b._accumulate(grad * ~cond, own=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -223,7 +237,7 @@ def tanh(a: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * (1.0 - out_data * out_data))
+            a._accumulate(grad * (1.0 - out_data * out_data), own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -236,7 +250,7 @@ def sigmoid(a: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * out_data * (1.0 - out_data))
+            a._accumulate(grad * out_data * (1.0 - out_data), own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -249,7 +263,7 @@ def relu(a: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * mask)
+            a._accumulate(grad * mask, own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -263,7 +277,7 @@ def leaky_relu(a: ArrayLike, negative_slope: float = 0.01) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * scale)
+            a._accumulate(grad * scale, own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -277,7 +291,7 @@ def softplus(a: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * sig)
+            a._accumulate(grad * sig, own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -286,7 +300,14 @@ def softplus(a: ArrayLike) -> Tensor:
 # linear algebra
 # --------------------------------------------------------------------- #
 def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
-    """Matrix product with NumPy batching semantics (``a @ b``)."""
+    """Matrix product with NumPy batching semantics (``a @ b``).
+
+    The backward pass multiplies against ``swapaxes`` *views* (never
+    materialized transposes) and, for the ubiquitous ``(..., m, n) @ (n, k)``
+    shared-weight case, collapses the batch into a single
+    ``(M, n)^T @ (M, k)`` GEMM instead of a batched product followed by a
+    broadcast reduction.
+    """
     a, b = as_tensor(a), as_tensor(b)
     out_data = a.data @ b.data
 
@@ -294,20 +315,67 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
         if a.requires_grad:
             if b.data.ndim == 1:
                 # (..., n) @ (n,) -> (...,): d/da = grad ⊗ b
-                a._accumulate(grad[..., None] * b.data)
+                a._accumulate(grad[..., None] * b.data, own=True)
             else:
-                a._accumulate(grad @ np.swapaxes(b.data, -1, -2))
+                a._accumulate(grad @ np.swapaxes(b.data, -1, -2), own=True)
         if b.requires_grad:
             if a.data.ndim == 1:
                 # (n,) @ (..., n, k) -> (..., k): d/db = a ⊗ grad
-                b._accumulate(a.data[:, None] * grad[..., None, :])
+                b._accumulate(a.data[:, None] * grad[..., None, :], own=True)
             elif b.data.ndim == 1:
                 # (..., m, n) @ (n,) -> (..., m): d/db = sum over batch of aᵀ grad
-                b._accumulate(a.data * grad[..., None])
+                b._accumulate(a.data * grad[..., None], own=True)
+            elif b.data.ndim == 2 and grad.ndim > 2:
+                # shared weight: one flat GEMM replaces batched matmul + sum
+                flat_a = a.data.reshape(-1, a.data.shape[-1])
+                flat_g = grad.reshape(-1, grad.shape[-1])
+                b._accumulate(flat_a.T @ flat_g, own=True)
             else:
-                b._accumulate(np.swapaxes(a.data, -1, -2) @ grad)
+                b._accumulate(np.swapaxes(a.data, -1, -2) @ grad, own=True)
 
     return Tensor._make(out_data, (a, b), backward)
+
+
+def linear(x: ArrayLike, weight: ArrayLike, bias: Optional[ArrayLike] = None) -> Tensor:
+    """Fused affine map ``x @ W + b`` for a shared 2-D weight.
+
+    One forward GEMM (the bias is added in place into the product buffer)
+    and one backward pass producing all three gradients:
+
+    * ``dx = grad @ W^T`` (``swapaxes`` view, no transpose copy),
+    * ``dW = x_flat^T @ grad_flat`` — a single GEMM over the collapsed
+      batch, never the batched outer-product + reduction ``matmul`` takes,
+    * ``db = grad_flat.sum(axis=0)`` via one ``np.add.reduce``.
+
+    Per-sample generated weights (``W.ndim != 2``) are not fused — use
+    ``matmul``/``add`` (or :func:`repro.tensor.functional.linear`, which
+    dispatches) for those.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    if weight.data.ndim != 2:
+        raise ValueError(f"linear expects a 2-D weight, got shape {weight.data.shape}")
+    bias_t = as_tensor(bias) if bias is not None else None
+    out_data = x.data @ weight.data
+    if bias_t is not None:
+        out_data += bias_t.data
+    in_features, out_features = weight.data.shape
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad @ weight.data.T, own=True)
+        if weight.requires_grad:
+            flat_x = x.data.reshape(-1, in_features)
+            flat_g = grad.reshape(-1, out_features)
+            weight._accumulate(flat_x.T @ flat_g, own=True)
+        if bias_t is not None and bias_t.requires_grad:
+            if bias_t.data.shape == (out_features,):
+                flat_g = grad.reshape(-1, out_features)
+                bias_t._accumulate(np.add.reduce(flat_g, axis=0), own=True)
+            else:
+                bias_t._accumulate(grad)  # unusual bias shape: generic unbroadcast
+
+    parents = (x, weight) if bias_t is None else (x, weight, bias_t)
+    return Tensor._make(out_data, parents, backward)
 
 
 def transpose(a: ArrayLike, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
@@ -354,17 +422,100 @@ def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
     return Tensor._make(out_data, (a,), backward)
 
 
+#: index components that keep NumPy in *basic* (view, duplicate-free) mode
+_BASIC_INDEX_TYPES = (int, np.integer, slice, type(Ellipsis), type(None))
+
+
+def _is_basic_index(index) -> bool:
+    """True when ``index`` triggers basic (non-fancy) NumPy indexing.
+
+    Basic indices select each source element at most once, so the gradient
+    scatter can be a direct ``buffer[index] += grad`` instead of the much
+    slower duplicate-safe ``np.add.at``.
+    """
+    if isinstance(index, tuple):
+        return all(isinstance(part, _BASIC_INDEX_TYPES) for part in index)
+    return isinstance(index, _BASIC_INDEX_TYPES)
+
+
+def _is_identity_index(index) -> bool:
+    """True when ``index`` selects the whole array unchanged (``x[:]``, ``x[...]``)."""
+    full = slice(None)
+    if index is Ellipsis or (isinstance(index, slice) and index == full):
+        return True
+    if isinstance(index, tuple):
+        return all(part is Ellipsis or (isinstance(part, slice) and part == full) for part in index)
+    return False
+
+
 def getitem(a: ArrayLike, index) -> Tensor:
-    """Basic/advanced indexing; the gradient scatters back with ``np.add.at``."""
+    """Index ``a``; the gradient scatters back into the parent's buffer.
+
+    Basic indices (ints/slices/ellipsis — never duplicated) use direct
+    slice-``+=`` into the preallocated gradient buffer; genuinely advanced
+    (possibly duplicated) index arrays fall back to ``np.add.at``.  Identity
+    indices pass the gradient through, and an all-zero upstream gradient
+    skips the scatter entirely.
+    """
     a = as_tensor(a)
     out_data = a.data[index]
-    original_shape = a.data.shape
+    basic = _is_basic_index(index)
+    identity = basic and _is_identity_index(index)
 
     def backward(grad: np.ndarray) -> None:
-        if a.requires_grad:
-            full = np.zeros(original_shape)
-            np.add.at(full, index, grad)
-            a._accumulate(full)
+        if not a.requires_grad:
+            return
+        if identity:
+            a._accumulate(grad)
+            return
+        buf = a._grad_buffer()
+        if not grad.any():
+            return  # scattering zeros is a no-op (buffer already exists)
+        if basic:
+            buf[index] += grad
+        else:
+            np.add.at(buf, index, grad)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def gather(a: ArrayLike, axis: int, index: np.ndarray) -> Tensor:
+    """Select along ``axis`` with ``np.take_along_axis`` semantics.
+
+    ``index`` must be an integer array with ``index.ndim == a.ndim`` (sizes
+    match ``a`` except along ``axis``).  The backward scatter uses
+    ``np.put_along_axis`` (read-add-write) whenever no lane of ``index``
+    repeats a source position — decided once at forward time — and falls
+    back to duplicate-safe ``np.add.at`` otherwise.  This is the op behind
+    per-node parameter selection in the decoders.
+    """
+    a = as_tensor(a)
+    idx = np.asarray(index)
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise TypeError(f"gather index must be integer, got dtype {idx.dtype}")
+    if idx.ndim != a.data.ndim:
+        raise ValueError(f"gather index ndim {idx.ndim} != input ndim {a.data.ndim}")
+    axis = axis % a.data.ndim if a.data.ndim else 0
+    out_data = np.take_along_axis(a.data, idx, axis=axis)
+    if idx.shape[axis] <= 1:
+        lanes_unique = True
+    else:
+        ordered = np.sort(idx, axis=axis)
+        keep = [slice(None)] * idx.ndim
+        drop = list(keep)
+        keep[axis], drop[axis] = slice(1, None), slice(None, -1)
+        lanes_unique = not bool((ordered[tuple(keep)] == ordered[tuple(drop)]).any())
+
+    def backward(grad: np.ndarray) -> None:
+        if not a.requires_grad:
+            return
+        buf = a._grad_buffer()
+        if lanes_unique:
+            np.put_along_axis(buf, idx, np.take_along_axis(buf, idx, axis=axis) + grad, axis=axis)
+        else:
+            grids = list(np.ogrid[tuple(slice(n) for n in idx.shape)])
+            grids[axis] = idx
+            np.add.at(buf, tuple(grids), grad)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -373,15 +524,16 @@ def concat(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis``."""
     tensors = [as_tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+    axis = axis % out_data.ndim
+    # precompute one slice tuple per input; the backward just applies them
+    lead = (slice(None),) * axis
+    offsets = np.cumsum([0] + [t.data.shape[axis] for t in tensors])
+    slices = [lead + (slice(int(start), int(stop)),) for start, stop in zip(offsets[:-1], offsets[1:])]
 
     def backward(grad: np.ndarray) -> None:
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+        for tensor, piece in zip(tensors, slices):
             if tensor.requires_grad:
-                index = [slice(None)] * grad.ndim
-                index[axis] = slice(start, stop)
-                tensor._accumulate(grad[tuple(index)])
+                tensor._accumulate(grad[piece])
 
     return Tensor._make(out_data, tensors, backward)
 
@@ -459,7 +611,7 @@ def mean(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(_expand_reduced(grad, a.data.shape, axis, keepdims) / count)
+            a._accumulate(_expand_reduced(grad, a.data.shape, axis, keepdims) / count, own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -481,7 +633,7 @@ def max(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:  # n
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(_expand_reduced(grad, a.data.shape, axis, keepdims) * mask)
+            a._accumulate(_expand_reduced(grad, a.data.shape, axis, keepdims) * mask, own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -505,7 +657,7 @@ def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
         if a.requires_grad:
             # dL/dx = s * (g - sum(g * s))
             inner = (grad * out_data).sum(axis=axis, keepdims=True)
-            a._accumulate(out_data * (grad - inner))
+            a._accumulate(out_data * (grad - inner), own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -520,7 +672,7 @@ def log_softmax(a: ArrayLike, axis: int = -1) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+            a._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True), own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -532,7 +684,7 @@ def dropout_mask(a: ArrayLike, mask: np.ndarray) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(grad * mask)
+            a._accumulate(grad * mask, own=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -588,6 +740,7 @@ _ELEMENTWISE_FLOPS = {
     "swapaxes": 0.0,
     "reshape": 0.0,
     "getitem": 0.0,
+    "gather": 0.0,
     "concat": 0.0,
     "stack": 0.0,
     "pad": 0.0,
@@ -606,7 +759,7 @@ def _operand_size(value: ArrayLike) -> int:
 
 def _estimate_flops(name: str, out_data: np.ndarray, args: tuple) -> float:
     """Analytic forward-FLOP estimate for one traced op call."""
-    if name == "matmul":
+    if name in ("matmul", "linear"):
         a = args[0]
         inner = (a.data if isinstance(a, Tensor) else np.asarray(a)).shape[-1]
         return 2.0 * float(out_data.size) * float(inner)
@@ -656,9 +809,9 @@ def _traced(name: str, fn):
 TRACED_OPS = (
     "add", "sub", "mul", "div", "neg", "power", "exp", "log", "sqrt", "abs",
     "maximum", "minimum", "clip", "where", "tanh", "sigmoid", "relu",
-    "leaky_relu", "softplus", "matmul", "transpose", "swapaxes", "reshape",
-    "getitem", "concat", "stack", "pad", "broadcast_to", "sum", "mean", "max",
-    "softmax", "log_softmax", "dropout_mask",
+    "leaky_relu", "softplus", "matmul", "linear", "transpose", "swapaxes",
+    "reshape", "getitem", "gather", "concat", "stack", "pad", "broadcast_to",
+    "sum", "mean", "max", "softmax", "log_softmax", "dropout_mask",
 )
 
 

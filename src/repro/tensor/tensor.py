@@ -53,24 +53,50 @@ def _as_array(value: ArrayLike) -> np.ndarray:
     return np.asarray(value, dtype=np.float64)
 
 
-def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...], out: Optional[np.ndarray] = None) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
 
     Broadcasting replicates values along new or size-1 axes during the
     forward pass; the adjoint of replication is summation, so the backward
     pass must reduce the gradient back to the original operand shape.
+
+    All broadcast axes (leading axes added by broadcasting plus interior
+    size-1 axes) are reduced in a single ``np.add.reduce`` call; the final
+    reshape restores the kept-as-1 dimensions.  When ``out`` is given (an
+    array of exactly ``shape``) the reduced gradient is accumulated into it
+    in place and ``out`` is returned.
     """
     if grad.shape == shape:
+        if out is not None:
+            out += grad
+            return out
         return grad
-    # Sum over leading axes added by broadcasting.
     extra = grad.ndim - len(shape)
-    if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
-    # Sum over axes that were 1 in the original shape.
-    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
-    if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
+    axes = tuple(range(extra)) + tuple(
+        i + extra for i, n in enumerate(shape) if n == 1 and grad.shape[i + extra] != 1
+    )
+    reduced = np.add.reduce(grad, axis=axes) if axes else grad
+    if out is not None:
+        out += reduced.reshape(shape)
+        return out
+    return np.ascontiguousarray(reduced).reshape(shape)
+
+
+#: hook(nbytes) called whenever the engine allocates a fresh gradient buffer
+#: (a defensive copy or a zero-fill); installed by ``repro.obs.profile`` to
+#: count the allocations that in-place accumulation is meant to avoid.
+_grad_alloc_hook: Optional[Callable[[int], None]] = None
+
+
+def set_grad_alloc_hook(hook: Optional[Callable[[int], None]]) -> Optional[Callable[[int], None]]:
+    """Install (or clear, with ``None``) the gradient-allocation hook.
+
+    Returns the previously installed hook so callers can restore it.
+    """
+    global _grad_alloc_hook
+    previous = _grad_alloc_hook
+    _grad_alloc_hook = hook
+    return previous
 
 
 class Tensor:
@@ -162,12 +188,47 @@ class Tensor:
             out._backward_fn = backward_fn
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
-        if self.grad is None:
-            self.grad = grad.copy()
-        else:
-            self.grad = self.grad + grad
+    def _accumulate(self, grad: np.ndarray, own: bool = False) -> None:
+        """Accumulate ``grad`` into :attr:`grad` in place.
+
+        ``own=True`` asserts that ``grad`` is a freshly allocated, writable
+        float64 array that the calling backward closure will never touch
+        again (e.g. the result of ``grad * b.data``) — it is then adopted
+        directly as the gradient buffer instead of being copied.  Arrays
+        that alias anything persistent (the upstream gradient itself, views
+        of it, ``np.broadcast_to`` results) must pass ``own=False``.
+        """
+        shape = self.data.shape
+        if not isinstance(grad, np.ndarray) or grad.dtype != np.float64:
+            grad = np.asarray(grad, dtype=np.float64)
+            own = False
+        buf = self.grad
+        if buf is not None:
+            unbroadcast(grad, shape, out=buf)
+            return
+        if grad.shape != shape:
+            self.grad = unbroadcast(grad, shape)
+            return
+        if own:
+            self.grad = grad
+            return
+        self.grad = grad.copy()
+        if _grad_alloc_hook is not None:
+            _grad_alloc_hook(self.grad.nbytes)
+
+    def _grad_buffer(self) -> np.ndarray:
+        """Return :attr:`grad`, zero-filling it first if unset.
+
+        Scatter-style backward closures (``getitem``, ``gather``) write
+        directly into this buffer with ``+=`` / ``np.add.at`` instead of
+        materializing a full-size temporary per call.
+        """
+        buf = self.grad
+        if buf is None:
+            buf = self.grad = np.zeros(self.data.shape)
+            if _grad_alloc_hook is not None:
+                _grad_alloc_hook(buf.nbytes)
+        return buf
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded graph.

@@ -60,7 +60,7 @@ class TestHarnessCLI:
         assert (tmp_path / "profile_gru.json").exists()
         assert (tmp_path / "profile_gru.txt").exists()
         out = capsys.readouterr().out
-        assert "matmul" in out  # top-op table printed
+        assert "linear" in out  # top-op table printed (GRU gates use the fused linear)
 
     def test_profile_requires_model(self):
         with pytest.raises(SystemExit):

@@ -59,6 +59,26 @@ class TestProfiler:
         assert prof.wall_seconds >= prof.total_op_seconds * 0.0  # wall recorded
         assert prof.wall_seconds > 0.0
 
+    def test_grad_allocs_counted_while_active(self):
+        a, w = small_graph()
+        with obs.profile() as prof:
+            loss = (a @ w).relu().mean()
+            loss.backward()
+        assert prof.grad_allocs > 0
+        assert prof.grad_alloc_bytes > 0
+        summary = prof.summary()
+        assert summary["grad_allocs"] == prof.grad_allocs
+        assert summary["grad_alloc_bytes"] == prof.grad_alloc_bytes
+        assert "grad allocs" in prof.to_table()
+
+    def test_grad_alloc_hook_restored_after_context(self):
+        from repro.tensor.tensor import set_grad_alloc_hook
+
+        with obs.profile():
+            pass
+        # outside the context the hook must be back to None
+        assert set_grad_alloc_hook(None) is None
+
     def test_disabled_mode_records_nothing(self):
         a, w = small_graph()
         with obs.profile() as prof:
