@@ -24,6 +24,8 @@ Subpackages
     One runner per paper table/figure; see ``repro.harness.EXPERIMENTS``.
 ``repro.obs``
     Observability: op-level profiler, module spans, JSONL metric sinks.
+``repro.resilience``
+    Fault tolerance: anomaly detection, divergence recovery, fault drills.
 
 Quickstart
 ----------
@@ -39,7 +41,7 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import analysis, baselines, core, data, harness, nn, obs, optim, tensor, training
+from . import analysis, baselines, core, data, harness, nn, obs, optim, resilience, tensor, training
 
 __all__ = [
     "tensor",
@@ -52,5 +54,6 @@ __all__ = [
     "analysis",
     "harness",
     "obs",
+    "resilience",
     "__version__",
 ]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Optional, Protocol
 
+import numpy as np
+
 from ..tensor import Tensor, functional
 
 
@@ -37,8 +39,16 @@ class STWALoss:
         self.kl_weight = kl_weight
 
     def __call__(self, prediction: Tensor, target: Tensor, model: Optional[_HasKL] = None) -> Tensor:
-        """Compute the full objective for one batch."""
-        loss = functional.huber_loss(prediction, target, delta=self.delta)
+        """Compute the full objective for one batch.
+
+        Targets containing NaN/Inf (dead sensors, see
+        :mod:`repro.data.imputation`) switch the Huber term to its masked
+        variant so missing positions contribute neither loss nor gradient.
+        """
+        if np.isfinite(target.data).all():
+            loss = functional.huber_loss(prediction, target, delta=self.delta)
+        else:
+            loss = functional.masked_huber_loss(prediction, target, delta=self.delta)
         if model is not None and self.kl_weight > 0:
             kl = model.kl_divergence()
             if kl is not None:

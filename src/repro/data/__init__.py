@@ -9,6 +9,7 @@ from .datasets import (
     sensors_for_profile,
 )
 from .graph_gen import RoadNetwork, SensorMeta, generate_road_network
+from .imputation import IMPUTE_METHODS, finite_mask, impute_series
 from .io import export_sensor_csv, load_saved_dataset, save_dataset
 from .scalers import MinMaxScaler, StandardScaler
 from .synthetic import (
@@ -31,6 +32,9 @@ __all__ = [
     "RoadNetwork",
     "SensorMeta",
     "generate_road_network",
+    "IMPUTE_METHODS",
+    "finite_mask",
+    "impute_series",
     "save_dataset",
     "load_saved_dataset",
     "export_sensor_csv",

@@ -1,0 +1,62 @@
+"""Degraded-input handling: NaN masks and imputation for dead sensors.
+
+Real PEMS deployments lose sensors routinely — streams go silent, report
+garbage, or drop whole intervals.  This module turns such gaps (encoded as
+NaN/Inf in the raw ``(N, T, F)`` series) into trainable inputs:
+
+* :func:`impute_series` fills non-finite entries along the time axis using
+  last-value carry-forward (``"last"``) or zeros (``"zero"``) and returns
+  the validity mask alongside, so downstream losses/metrics can ignore the
+  imputed positions (:func:`repro.tensor.masked_huber_loss`,
+  :mod:`repro.training.metrics`).
+* :func:`finite_mask` is the shared mask convention: ``1.0`` observed,
+  ``0.0`` missing.
+
+Fault injection for chaos drills lives in :mod:`repro.resilience.faults`
+(:func:`~repro.resilience.faults.inject_sensor_dropout`), which builds a
+degraded :class:`repro.data.TrafficDataset` on top of these primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: imputation strategies accepted by :func:`impute_series`
+IMPUTE_METHODS = ("last", "zero")
+
+
+def finite_mask(data: np.ndarray) -> np.ndarray:
+    """Validity mask of ``data``: 1.0 where finite, 0.0 where missing."""
+    return np.isfinite(data).astype(np.float64)
+
+
+def impute_series(data: np.ndarray, method: str = "last") -> Tuple[np.ndarray, np.ndarray]:
+    """Fill non-finite entries of an ``(N, T, F)`` series along time (axis 1).
+
+    ``"last"`` carries the most recent observed value forward per sensor and
+    feature (gaps before the first observation fall back to zero);
+    ``"zero"`` substitutes zeros everywhere.  Returns ``(filled, mask)``
+    where ``mask`` follows the :func:`finite_mask` convention and ``filled``
+    is always a new array.
+    """
+    if method not in IMPUTE_METHODS:
+        raise ValueError(f"unknown imputation method {method!r}; available: {IMPUTE_METHODS}")
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 3:
+        raise ValueError(f"expected (N, T, F) array, got shape {data.shape}")
+    observed = np.isfinite(data)
+    mask = observed.astype(np.float64)
+    if observed.all():
+        return data.copy(), mask
+    if method == "zero":
+        return np.where(observed, data, 0.0), mask
+    # last-value carry-forward: for each position take the index of the most
+    # recent observed step (running maximum of observed indices over time)
+    time_index = np.arange(data.shape[1])[None, :, None]
+    last_observed = np.where(observed, time_index, 0)
+    np.maximum.accumulate(last_observed, axis=1, out=last_observed)
+    filled = np.take_along_axis(data, last_observed, axis=1)
+    # leading gaps point at index 0 which may itself be missing -> zero-fill
+    return np.where(np.isfinite(filled), filled, 0.0), mask

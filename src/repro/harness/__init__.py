@@ -7,7 +7,9 @@ constructed explicitly via :meth:`RunSettings.from_scope`).  The ``profile``
 module backs ``python -m repro.harness profile <model>`` — an op/module
 runtime profile built on :mod:`repro.obs` — and ``bench`` backs
 ``python -m repro.harness bench``, the benchmark trajectory harness that
-writes ``BENCH_<date>.json`` perf snapshots.
+writes ``BENCH_<date>.json`` perf snapshots.  ``chaos`` backs
+``python -m repro.harness chaos`` — fault-injection drills
+(:mod:`repro.resilience`) that write ``chaos_report.json``.
 """
 
 from typing import Callable, Dict
@@ -15,6 +17,7 @@ from typing import Callable, Dict
 from . import (
     attention_scaling,
     bench,
+    chaos,
     horizon_report,
     figure9,
     figure10,
@@ -60,6 +63,7 @@ __all__ = [
     "RunSettings",
     "get_dataset",
     "bench",
+    "chaos",
     "profile",
     "train_and_score",
     "train_and_score_model",

@@ -6,6 +6,7 @@ Usage::
     python -m repro.harness all --scope smoke --out results/
     python -m repro.harness profile st-wa --out results/
     python -m repro.harness bench --scope smoke --check
+    python -m repro.harness chaos --fast --out results/
 
 ``profile <model> [<model> ...]`` runs a short instrumented training pass
 and prints the top-K op/module runtime table; the full breakdown lands in
@@ -13,8 +14,11 @@ and prints the top-K op/module runtime table; the full breakdown lands in
 benchmark suite (op microbenchmarks + an instrumented ST-WA smoke epoch),
 writes ``<out>/BENCH_<date>.json`` with deltas vs the previous BENCH file,
 and with ``--check`` exits nonzero if the ST-WA smoke epoch regressed more
-than ``--max-regression``.  Other results are printed and saved as text
-files under ``--out``.
+than ``--max-regression``.  ``chaos`` runs the fault-injection drills
+(kill/resume, NaN gradient, sensor dropout — see :mod:`repro.resilience`),
+writes ``<out>/chaos_report.json``, and exits nonzero unless every scenario
+recovered; ``--fast`` shrinks it to the CI budget.  Other results are
+printed and saved as text files under ``--out``.
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ import sys
 import time
 from pathlib import Path
 
-from . import EXPERIMENTS, RunSettings, bench, profile
+from . import EXPERIMENTS, RunSettings, bench, chaos, profile
 
 
 def main(argv=None) -> int:
@@ -51,6 +55,16 @@ def main(argv=None) -> int:
         default=0.25,
         help="bench only: allowed relative slowdown of the ST-WA smoke epoch (default 0.25)",
     )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="chaos only: shrink the drills to the CI budget (fewer epochs/batches)",
+    )
+    parser.add_argument(
+        "--model",
+        default="st-wa",
+        help="chaos only: model to run the fault drills against (default st-wa)",
+    )
     args = parser.parse_args(argv)
 
     settings = RunSettings.from_scope(args.scope)
@@ -71,6 +85,19 @@ def main(argv=None) -> int:
         print(f"[bench done in {elapsed:.1f}s]\n", flush=True)
         result.save(out_dir)
         return 1 if result.extras.get("regressed") else 0
+
+    if args.experiments[0] == "chaos":
+        if len(args.experiments) > 1:
+            parser.error("chaos takes no experiment arguments")
+        start = time.perf_counter()
+        result, report = chaos.run(
+            settings=settings, out_dir=out_dir, fast=args.fast, model_name=args.model
+        )
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[chaos done in {elapsed:.1f}s]\n", flush=True)
+        result.save(out_dir)
+        return 0 if report["all_recovered"] else 1
 
     if args.experiments[0] == "profile":
         models = args.experiments[1:]

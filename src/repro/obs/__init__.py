@@ -15,7 +15,7 @@ See DESIGN.md section "Observability" for the event schema and examples.
 """
 
 from .profiler import OpStat, Profiler, SpanStat, current_profiler, is_profiling, profile
-from .sinks import Event, JsonlSink, ListSink, MetricsSink, NullSink, TeeSink, read_jsonl
+from .sinks import Event, JsonlSink, ListSink, MetricsSink, NullSink, SafeSink, TeeSink, read_jsonl
 from .spans import module_spans
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "NullSink",
     "ListSink",
     "JsonlSink",
+    "SafeSink",
     "TeeSink",
     "Event",
     "read_jsonl",

@@ -13,11 +13,15 @@ Implementations:
 * :class:`JsonlSink`  — one JSON object per line on disk; the format the
   harness writes under ``results/`` and that :func:`read_jsonl` loads back.
 * :class:`TeeSink`    — fan one event stream out to several sinks.
+* :class:`SafeSink`   — isolate the producer from a failing sink: the first
+  emit error is warned about once and the stream degrades to dropping
+  events (a full disk must never kill a training run).
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Union
 
@@ -103,6 +107,41 @@ class TeeSink(MetricsSink):
     def close(self) -> None:
         for sink in self.sinks:
             sink.close()
+
+
+class SafeSink(MetricsSink):
+    """Forward events to ``sink`` until it fails, then drop them.
+
+    Observability must never take down the thing it observes: the first
+    exception out of ``sink.emit`` (full disk, closed handle, buggy custom
+    sink) emits a single :class:`RuntimeWarning` and flips the wrapper into
+    null mode.  The :class:`repro.training.Trainer` wraps every configured
+    sink in one of these.
+    """
+
+    def __init__(self, sink: MetricsSink) -> None:
+        self.sink = sink
+        self.failed = False
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        if self.failed:
+            return
+        try:
+            self.sink.emit(event)
+        except Exception as error:
+            self.failed = True
+            warnings.warn(
+                f"metrics sink {type(self.sink).__name__} failed ({error!r}); "
+                "degrading to NullSink — further events are discarded",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def close(self) -> None:
+        try:
+            self.sink.close()
+        except Exception:
+            pass
 
 
 def read_jsonl(path: PathLike) -> Iterator[Event]:

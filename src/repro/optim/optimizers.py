@@ -1,8 +1,15 @@
-"""Gradient-descent optimizers (Adam is what the paper trains with)."""
+"""Gradient-descent optimizers (Adam is what the paper trains with).
+
+Both optimizers guard against non-finite gradients: a parameter whose
+gradient contains NaN/Inf is skipped for that step (its moments untouched),
+and the skip is counted in ``nonfinite_skips`` so the resilience layer can
+surface it.  ``state_dict`` / ``load_state_dict`` expose the full internal
+state (moments, step counter, learning rate) for checkpoint/resume.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -19,6 +26,7 @@ class Optimizer:
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.lr = lr
+        self.nonfinite_skips = 0  # parameter updates skipped on NaN/Inf grads
 
     def zero_grad(self) -> None:
         """Clear all parameter gradients."""
@@ -27,6 +35,25 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot of the mutable optimizer state (for checkpointing)."""
+        return {"lr": self.lr, "nonfinite_skips": self.nonfinite_skips}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+        self.nonfinite_skips = int(state.get("nonfinite_skips", 0))
+
+
+def _copy_slots(slots: List[Optional[np.ndarray]]) -> List[Optional[np.ndarray]]:
+    return [None if slot is None else slot.copy() for slot in slots]
+
+
+def _load_slots(slots: List[Optional[np.ndarray]], count: int, name: str) -> List[Optional[np.ndarray]]:
+    if len(slots) != count:
+        raise ValueError(f"optimizer state mismatch: {len(slots)} {name} slots for {count} parameters")
+    return [None if slot is None else np.asarray(slot, dtype=np.float64).copy() for slot in slots]
 
 
 class SGD(Optimizer):
@@ -49,6 +76,9 @@ class SGD(Optimizer):
             if parameter.grad is None:
                 continue
             grad = parameter.grad
+            if not np.isfinite(grad).all():
+                self.nonfinite_skips += 1
+                continue
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data
             if self.momentum:
@@ -57,6 +87,15 @@ class SGD(Optimizer):
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             parameter.data = parameter.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["velocity"] = _copy_slots(self._velocity)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._velocity = _load_slots(state["velocity"], len(self.parameters), "velocity")
 
 
 class Adam(Optimizer):
@@ -89,6 +128,10 @@ class Adam(Optimizer):
             if parameter.grad is None:
                 continue
             grad = parameter.grad
+            if not np.isfinite(grad).all():
+                # a single NaN would poison m/v forever; skip this update
+                self.nonfinite_skips += 1
+                continue
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data
             if self._m[i] is None:
@@ -100,14 +143,33 @@ class Adam(Optimizer):
             v_hat = self._v[i] / bias2
             parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["step_count"] = self._step_count
+        state["m"] = _copy_slots(self._m)
+        state["v"] = _copy_slots(self._v)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._step_count = int(state["step_count"])
+        self._m = _load_slots(state["m"], len(self.parameters), "m")
+        self._v = _load_slots(state["v"], len(self.parameters), "v")
+
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients in-place so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clip norm (useful for logging divergence).
+    Returns the pre-clip norm (useful for logging divergence).  When the
+    norm is non-finite (a NaN/Inf gradient somewhere), no scaling is applied
+    — multiplying every gradient by ``max_norm / nan`` would poison all of
+    them — and the raw non-finite norm is returned so callers can detect and
+    handle the anomaly.
     """
     parameters = [p for p in parameters if p.grad is not None]
     total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in parameters)))
+    if not np.isfinite(total):
+        return total
     if total > max_norm and total > 0:
         scale = max_norm / total
         for parameter in parameters:

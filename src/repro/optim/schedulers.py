@@ -25,6 +25,16 @@ class LRScheduler:
     def _lr_at(self, epoch: int) -> float:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Snapshot of the schedule position (for checkpoint/resume)."""
+        return {"epoch": self.epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+        self.optimizer.lr = self._lr_at(self.epoch) if self.epoch else self.base_lr
+
 
 class ConstantLR(LRScheduler):
     """No-op schedule (the paper trains with a fixed 1e-3)."""
@@ -91,3 +101,14 @@ class EarlyStopping:
     @property
     def improved_last_update(self) -> bool:
         return self._bad_epochs == 0
+
+    def state_dict(self) -> dict:
+        """Snapshot of the stopper's mutable state (for checkpoint/resume)."""
+        return {"best": self.best, "best_epoch": self.best_epoch, "bad_epochs": self._bad_epochs}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        best = state["best"]
+        self.best = None if best is None else float(best)
+        self.best_epoch = int(state["best_epoch"])
+        self._bad_epochs = int(state["bad_epochs"])

@@ -1,0 +1,44 @@
+"""Fault tolerance for long training runs: detect, persist, recover, drill.
+
+Production traffic-forecasting training jobs run for hours to days; this
+package makes the repro survive the failures such runs actually see:
+
+* **Numerical anomalies** — :func:`repro.tensor.detect_anomaly` screens
+  every op's forward output and incoming backward gradient for NaN/Inf and
+  raises :class:`~repro.tensor.NumericalAnomalyError` naming the op and its
+  creation site (re-exported here for convenience).
+* **Divergence recovery** — :class:`RecoveryPolicy` tells the
+  :class:`repro.training.Trainer` to roll back to the last good state,
+  halve the learning rate and retry (bounded) instead of dying.
+* **Checkpoint/resume** — full training state (weights, optimizer moments,
+  RNG streams, early stopping, epoch counter) persists atomically via
+  :mod:`repro.training.checkpoint`; ``Trainer.fit(resume_from=...)``
+  continues bit-exactly.
+* **Fault drills** — :mod:`repro.resilience.faults` injects NaN gradients,
+  simulated process kills and sensor dropout; ``python -m repro.harness
+  chaos`` runs the full drill suite and writes ``results/chaos_report.json``.
+
+See DESIGN.md section "Resilience" for the architecture.
+"""
+
+from ..tensor import NumericalAnomalyError, detect_anomaly
+from .faults import (
+    FaultInjector,
+    NaNGradientFault,
+    ProcessKillFault,
+    SimulatedCrash,
+    inject_sensor_dropout,
+)
+from .recovery import LossExplosionError, RecoveryPolicy
+
+__all__ = [
+    "NumericalAnomalyError",
+    "detect_anomaly",
+    "LossExplosionError",
+    "RecoveryPolicy",
+    "SimulatedCrash",
+    "NaNGradientFault",
+    "ProcessKillFault",
+    "FaultInjector",
+    "inject_sensor_dropout",
+]

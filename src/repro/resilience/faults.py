@@ -1,0 +1,176 @@
+"""Fault injection for chaos drills: break training on purpose, verify recovery.
+
+Three failure modes, mirroring what real multi-day traffic-model training
+runs actually hit:
+
+* :class:`NaNGradientFault` — poison one parameter gradient with NaN right
+  after the backward pass, as a hardware glitch or numerical blow-up would.
+  Exercises the gradient guards and the Trainer's rollback path.
+* :class:`ProcessKillFault` — raise :class:`SimulatedCrash` after a chosen
+  batch, standing in for OOM-kills and preemptions.  Exercises
+  checkpoint/resume (``Trainer.fit(resume_from=...)``).
+* :func:`inject_sensor_dropout` — silence a fraction of sensors from a
+  random onset onwards (NaN in the raw series), standing in for dead
+  detectors.  Exercises imputation + masked loss/metrics.
+
+A :class:`FaultInjector` carrying the first two plugs into
+``TrainerConfig.batch_hook``; sensor dropout instead rewrites the dataset
+before training.  The ``python -m repro.harness chaos`` subcommand drives
+all three and writes ``results/chaos_report.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dataclasses_replace
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..data.datasets import TrafficDataset
+from ..data.imputation import impute_series
+from ..data.scalers import StandardScaler
+
+
+class SimulatedCrash(RuntimeError):
+    """Deliberate process-death stand-in raised by :class:`ProcessKillFault`.
+
+    Intentionally *not* a :class:`FloatingPointError`: the Trainer's
+    divergence recovery must never swallow a kill — it has to escape so the
+    caller restarts from the checkpoint, exactly like a real SIGKILL.
+    """
+
+
+@dataclass(frozen=True)
+class NaNGradientFault:
+    """Overwrite one gradient entry with NaN after backward at (epoch, batch)."""
+
+    epoch: int
+    batch: int
+    parameter_index: int = 0
+
+
+@dataclass(frozen=True)
+class ProcessKillFault:
+    """Raise :class:`SimulatedCrash` after the step at (epoch, batch)."""
+
+    epoch: int
+    batch: int
+
+
+class FaultInjector:
+    """Batch hook that fires each configured fault exactly once.
+
+    Implements the ``TrainerConfig.batch_hook`` protocol:
+    ``after_backward(trainer, epoch, batch)`` runs between ``backward()``
+    and gradient clipping (where :class:`NaNGradientFault` strikes);
+    ``after_batch(trainer, epoch, batch)`` runs after ``optimizer.step()``
+    (where :class:`ProcessKillFault` strikes).  ``log`` records what fired,
+    for assertions and the chaos report.
+    """
+
+    def __init__(self, faults: Iterable[object]):
+        self.faults = list(faults)
+        self._fired = set()
+        self.log: List[dict] = []
+
+    def _take(self, kind: type, epoch: int, batch: int):
+        for fault in self.faults:
+            if (
+                isinstance(fault, kind)
+                and fault.epoch == epoch
+                and fault.batch == batch
+                and id(fault) not in self._fired
+            ):
+                self._fired.add(id(fault))
+                self.log.append(
+                    {"fault": kind.__name__, "epoch": epoch, "batch": batch}
+                )
+                return fault
+        return None
+
+    def after_backward(self, trainer, epoch: int, batch: int) -> None:
+        fault = self._take(NaNGradientFault, epoch, batch)
+        if fault is None:
+            return
+        parameters = trainer.optimizer.parameters
+        param = parameters[fault.parameter_index % len(parameters)]
+        if param.grad is None:
+            param.grad = np.zeros_like(param.data)
+        param.grad.flat[0] = np.nan
+
+    def after_batch(self, trainer, epoch: int, batch: int) -> None:
+        fault = self._take(ProcessKillFault, epoch, batch)
+        if fault is not None:
+            raise SimulatedCrash(
+                f"simulated process kill at epoch {epoch}, batch {batch}"
+            )
+
+
+def inject_sensor_dropout(
+    dataset: TrafficDataset,
+    rate: float = 0.2,
+    seed: int = 0,
+    impute_method: Optional[str] = "last",
+) -> TrafficDataset:
+    """Return a copy of ``dataset`` with a fraction of sensors gone dark.
+
+    ``rate`` of the sensors are chosen once; in every split each dead sensor
+    stops reporting at an independent random onset (somewhere in the first
+    half of the split) and stays NaN to the end — the typical failure shape
+    of a real detector.  The raw splits keep their NaNs so metrics and the
+    masked loss can ignore the missing ground truth.
+
+    With an ``impute_method`` (see :data:`repro.data.IMPUTE_METHODS`) the
+    *scaled* model inputs are rebuilt from imputed series, with a fresh
+    scaler fit on the imputed train split (NaNs would poison the statistics).
+    With ``impute_method=None`` the NaNs flow straight into the scaled
+    inputs via the original scaler — the negative control that demonstrates
+    why the masked pipeline exists.
+    """
+    if not 0.0 < rate < 1.0:
+        raise ValueError("rate must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    num_sensors = dataset.num_sensors
+    num_dead = max(1, int(round(rate * num_sensors)))
+    dead = rng.choice(num_sensors, size=num_dead, replace=False)
+
+    def poison(raw: np.ndarray) -> np.ndarray:
+        out = np.asarray(raw, dtype=np.float64).copy()
+        horizon = out.shape[1]
+        for sensor in dead:
+            onset = int(rng.integers(0, max(1, horizon // 2)))
+            out[sensor, onset:, :] = np.nan
+        return out
+
+    train_raw = poison(dataset.train_raw)
+    val_raw = poison(dataset.val_raw)
+    test_raw = poison(dataset.test_raw)
+
+    if impute_method is None:
+        scaler = dataset.scaler
+        train, val, test = (
+            scaler.transform(train_raw),
+            scaler.transform(val_raw),
+            scaler.transform(test_raw),
+        )
+    else:
+        train_filled, _ = impute_series(train_raw, method=impute_method)
+        val_filled, _ = impute_series(val_raw, method=impute_method)
+        test_filled, _ = impute_series(test_raw, method=impute_method)
+        scaler = StandardScaler().fit(train_filled)
+        train, val, test = (
+            scaler.transform(train_filled),
+            scaler.transform(val_filled),
+            scaler.transform(test_filled),
+        )
+
+    return dataclasses_replace(
+        dataset,
+        train=train,
+        val=val,
+        test=test,
+        train_raw=train_raw,
+        val_raw=val_raw,
+        test_raw=test_raw,
+        scaler=scaler,
+    )

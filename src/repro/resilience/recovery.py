@@ -1,0 +1,77 @@
+"""Divergence detection and rollback policy for the training loop.
+
+The stochastic latents of ST-WA (Eq. 14-20) make KL-driven loss spikes a
+realistic failure mode; a :class:`RecoveryPolicy` tells the
+:class:`repro.training.Trainer` how to respond instead of dying:
+
+1. **Detect** — a batch counts as divergence when (a) its loss is
+   non-finite, (b) its loss exceeds ``explosion_factor`` times the trailing
+   median of recent batch losses (:class:`LossExplosionError`), or (c) the
+   anomaly screen / gradient-norm guard raises
+   :class:`repro.tensor.NumericalAnomalyError`.
+2. **Roll back** — the Trainer restores the last good epoch-boundary state
+   (weights, optimizer moments, RNG streams, early stopping) from its
+   in-memory snapshot or the latest on-disk checkpoint.
+3. **Back off** — the learning rate is multiplied by ``lr_factor`` (floored
+   at ``min_lr``) before retrying, so each successive attempt takes smaller
+   steps — exponential backoff in step size rather than wall time.
+4. **Bound** — after ``max_retries`` consecutive failed attempts at the
+   same epoch the original error is re-raised; a clean epoch resets the
+   attempt counter.
+
+Every recovery is emitted as a ``{"event": "recovery", ...}`` record through
+the Trainer's :class:`repro.obs.MetricsSink` (see DESIGN.md "Resilience").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class LossExplosionError(FloatingPointError):
+    """Batch loss exceeded ``explosion_factor`` x the trailing median.
+
+    Subclasses :class:`FloatingPointError` so one ``except`` clause covers
+    NaN losses, numerical anomalies, and explosions alike.
+    """
+
+    def __init__(self, loss: float, median: float, factor: float):
+        self.loss = loss
+        self.median = median
+        self.factor = factor
+        super().__init__(
+            f"training diverged: batch loss {loss:.6g} exceeds "
+            f"{factor:g}x the trailing median {median:.6g}"
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the rollback-and-retry loop (see module docstring).
+
+    ``window`` and ``min_history`` control the trailing-median explosion
+    detector: the median is taken over the last ``window`` batch losses and
+    only consulted once ``min_history`` of them exist (early losses are
+    legitimately large and noisy).
+    """
+
+    max_retries: int = 3
+    lr_factor: float = 0.5
+    min_lr: float = 1e-6
+    explosion_factor: float = 10.0
+    window: int = 25
+    min_history: int = 5
+
+    def __post_init__(self):
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if not 0.0 < self.lr_factor < 1.0:
+            raise ValueError("lr_factor must be in (0, 1)")
+        if self.explosion_factor <= 1.0:
+            raise ValueError("explosion_factor must be > 1")
+        if self.window < 1 or self.min_history < 1:
+            raise ValueError("window and min_history must be >= 1")
+
+    def backed_off_lr(self, lr: float) -> float:
+        """The learning rate to retry with after one more failure."""
+        return max(self.min_lr, lr * self.lr_factor)

@@ -12,10 +12,17 @@ Public surface:
 """
 
 from . import functional, gradcheck, ops
+from .anomaly import (
+    AnomalyDetector,
+    NumericalAnomalyError,
+    detect_anomaly,
+    is_anomaly_detection_enabled,
+)
 from .functional import (
     gaussian_kl,
     huber_loss,
     mae_loss,
+    masked_huber_loss,
     mse_loss,
     reparameterize,
     scaled_dot_product_attention,
@@ -44,8 +51,13 @@ __all__ = [
     "functional",
     "gradcheck",
     "huber_loss",
+    "masked_huber_loss",
     "mse_loss",
     "mae_loss",
+    "detect_anomaly",
+    "AnomalyDetector",
+    "NumericalAnomalyError",
+    "is_anomaly_detection_enabled",
     "gaussian_kl",
     "reparameterize",
     "scaled_dot_product_attention",

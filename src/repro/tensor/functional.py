@@ -48,6 +48,40 @@ def huber_loss(prediction: ArrayLike, target: ArrayLike, delta: float = 1.0) -> 
     return ops.mean(ops.where(abs_residual.data <= delta, quadratic, linear))
 
 
+def masked_huber_loss(
+    prediction: ArrayLike,
+    target: ArrayLike,
+    delta: float = 1.0,
+    mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Huber loss over the valid entries of a partially observed target.
+
+    Dead sensors show up as NaN in the ground truth; an unmasked loss would
+    turn the whole batch gradient into NaN.  Here invalid entries (NaN/Inf
+    targets, or ``mask == 0`` when an explicit mask is given) contribute
+    zero loss *and* zero gradient, and the reduction divides by the number
+    of valid entries so the scale matches :func:`huber_loss` on clean data.
+
+    Returns a zero scalar (with zero gradients) when nothing is valid.
+    """
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    finite = np.isfinite(target.data)
+    if mask is None:
+        mask_array = finite.astype(np.float64)
+    else:
+        mask_array = np.asarray(mask, dtype=np.float64) * finite
+    valid = float(mask_array.sum())
+    if valid == 0.0:
+        return ops.sum(prediction * 0.0)
+    safe_target = np.where(finite, target.data, 0.0)
+    residual = prediction - Tensor(safe_target)
+    abs_residual = ops.abs(residual)
+    quadratic = 0.5 * residual * residual
+    linear = delta * (abs_residual - 0.5 * delta)
+    element = ops.where(abs_residual.data <= delta, quadratic, linear)
+    return ops.sum(element * Tensor(mask_array)) / valid
+
+
 def gaussian_kl(mu: ArrayLike, log_var: ArrayLike) -> Tensor:
     """Analytic ``D_KL[N(mu, diag(exp(log_var))) || N(0, I)]``, mean over batch.
 

@@ -697,6 +697,9 @@ TraceHook = Callable[[str, str, float, float, int], None]
 
 _trace_hook: Optional[TraceHook] = None
 
+#: an AnomalyDetector (see repro.tensor.anomaly) or None when screening is off
+_anomaly_check = None
+
 
 def set_op_trace(hook: Optional[TraceHook]) -> Optional[TraceHook]:
     """Install (or clear, with ``None``) the global op trace hook.
@@ -708,6 +711,24 @@ def set_op_trace(hook: Optional[TraceHook]) -> Optional[TraceHook]:
     previous = _trace_hook
     _trace_hook = hook
     return previous
+
+
+def set_anomaly_check(detector):
+    """Install (or clear, with ``None``) the global NaN/Inf screen.
+
+    ``detector`` is a :class:`repro.tensor.anomaly.AnomalyDetector`; returns
+    the previously installed one so :func:`repro.tensor.detect_anomaly` can
+    nest contexts.
+    """
+    global _anomaly_check
+    previous = _anomaly_check
+    _anomaly_check = detector
+    return previous
+
+
+def anomaly_check_active():
+    """The detector of the innermost active ``detect_anomaly`` context, if any."""
+    return _anomaly_check
 
 
 #: FLOPs per *output* element for elementwise ops (rough analytic costs;
@@ -769,23 +790,35 @@ def _estimate_flops(name: str, out_data: np.ndarray, args: tuple) -> float:
 
 
 def _traced(name: str, fn):
-    """Wrap a primitive so an active trace hook sees forward and backward."""
+    """Wrap a primitive so an active trace hook (and/or the anomaly screen)
+    sees forward and backward."""
 
     def wrapper(*args, **kwargs):
         hook = _trace_hook
-        if hook is None:
+        anomaly = _anomaly_check
+        if hook is None and anomaly is None:
             return fn(*args, **kwargs)
         start = _time.perf_counter()
         out = fn(*args, **kwargs)
-        elapsed = _time.perf_counter() - start
-        nbytes = int(out.data.nbytes)
-        flops = _estimate_flops(name, out.data, args)
-        hook(name, "forward", elapsed, flops, nbytes)
+        if hook is not None:
+            elapsed = _time.perf_counter() - start
+            nbytes = int(out.data.nbytes)
+            flops = _estimate_flops(name, out.data, args)
+            hook(name, "forward", elapsed, flops, nbytes)
+        else:
+            nbytes = 0
+            flops = 0.0
+        # may raise NumericalAnomalyError; returns the creation trace that a
+        # later backward anomaly of this node will report
+        trace = anomaly.after_forward(name, out.data) if anomaly is not None else None
         inner = out._backward_fn
         if inner is not None:
             # Backward FLOPs are charged at the conventional 2x forward; the
             # gradient array has the output's shape, hence the same bytes.
-            def traced_backward(grad: np.ndarray, _inner=inner) -> None:
+            def traced_backward(grad: np.ndarray, _inner=inner, _trace=trace) -> None:
+                backward_anomaly = _anomaly_check
+                if backward_anomaly is not None:
+                    backward_anomaly.check_grad(name, grad, _trace)
                 backward_hook = _trace_hook
                 if backward_hook is None:
                     _inner(grad)

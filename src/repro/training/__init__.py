@@ -1,7 +1,18 @@
 """Training harness: trainer, metrics, checkpoints, memory model."""
 
 from . import memory
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    TrainingCheckpoint,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    load_training_checkpoint,
+    prune_checkpoints,
+    save_checkpoint,
+    save_state_dict,
+    save_training_checkpoint,
+)
 from .metrics import evaluate_all, horizon_breakdown, mae, mape, rmse
 from .trainer import Trainer, TrainerConfig, TrainingHistory
 from .uncertainty import IntervalForecast, interval_diagnostics, predict_interval, sample_forecasts
@@ -17,6 +28,14 @@ __all__ = [
     "horizon_breakdown",
     "save_checkpoint",
     "load_checkpoint",
+    "save_state_dict",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "TrainingCheckpoint",
+    "CHECKPOINT_VERSION",
+    "list_checkpoints",
+    "latest_checkpoint",
+    "prune_checkpoints",
     "memory",
     "IntervalForecast",
     "predict_interval",

@@ -1,10 +1,30 @@
-"""Model checkpointing to ``.npz`` archives."""
+"""Model and full-training-state checkpointing to ``.npz`` archives.
+
+Two layers:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` — the original
+  model-weights-plus-metadata archive (schema v1), unchanged on disk.
+* :func:`save_training_checkpoint` / :func:`load_training_checkpoint` —
+  schema v2: everything :class:`repro.training.Trainer` needs to resume a
+  run *bit-exactly*: model weights, best-so-far weights, optimizer moments
+  and step counter, learning rate, early-stopping state, the trainer's and
+  the model's RNG streams, and the per-epoch history.
+
+All writes are atomic: the archive is written to ``path.with_suffix(".tmp")``
+and moved into place with :func:`os.replace`, so a crash mid-write can never
+leave a truncated checkpoint where a good one (or none) should be.
+
+Retention is handled by :func:`prune_checkpoints` (``keep_last``) together
+with the Trainer's ``keep_best`` copy of the best-validation weights.
+"""
 
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -12,28 +32,194 @@ from ..nn import Module
 
 PathLike = Union[str, Path]
 
+#: bump when the full-state archive layout changes
+CHECKPOINT_VERSION = 2
+
+#: filename pattern of the Trainer's per-epoch checkpoints
+EPOCH_CHECKPOINT_GLOB = "ckpt_epoch_*.npz"
+
+
+def _json_default(value):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+def _normalize(path: PathLike) -> Path:
+    """Resolve the final archive path (``np.savez`` would append ``.npz``)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def write_archive(path: PathLike, arrays: Dict[str, np.ndarray], metadata: Optional[Dict] = None) -> Path:
+    """Atomically write arrays + JSON metadata to an ``.npz`` at ``path``."""
+    path = _normalize(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(arrays)
+    blob = json.dumps(metadata or {}, default=_json_default).encode("utf-8")
+    # zero-length frombuffer is fragile across numpy versions; store an
+    # explicit empty array so the round-trip is well-defined either way
+    payload["__metadata__"] = (
+        np.frombuffer(blob, dtype=np.uint8) if blob else np.zeros(0, dtype=np.uint8)
+    )
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+    os.replace(tmp, path)
+    return path
+
+
+def read_archive(path: PathLike) -> tuple:
+    """Load ``(arrays, metadata)`` from an archive written by :func:`write_archive`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        raw = archive["__metadata__"] if "__metadata__" in archive.files else np.zeros(0, np.uint8)
+        metadata = json.loads(raw.tobytes().decode("utf-8")) if raw.size else {}
+        arrays = {name: archive[name] for name in archive.files if name != "__metadata__"}
+    return arrays, metadata
+
+
+# --------------------------------------------------------------------- #
+# schema v1: model weights + metadata
+# --------------------------------------------------------------------- #
+def save_state_dict(state: Dict[str, np.ndarray], path: PathLike, metadata: Optional[Dict] = None) -> Path:
+    """Serialize a raw ``name -> array`` state dict (and metadata) to ``path``."""
+    return write_archive(path, state, metadata)
+
 
 def save_checkpoint(model: Module, path: PathLike, metadata: Optional[Dict] = None) -> Path:
     """Serialize a model's parameters (and JSON-able metadata) to ``path``.
 
     Parameter names may contain dots; they are stored as-is in the archive.
+    The write is atomic (temp file + ``os.replace``).
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    arrays = model.state_dict()
-    payload = dict(arrays)
-    payload["__metadata__"] = np.frombuffer(
-        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez_compressed(path, **payload)
-    return path
+    return save_state_dict(model.state_dict(), path, metadata)
 
 
 def load_checkpoint(model: Module, path: PathLike) -> Dict:
     """Load parameters saved by :func:`save_checkpoint`; returns metadata."""
-    path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        metadata_raw = archive["__metadata__"].tobytes().decode("utf-8")
-        state = {name: archive[name] for name in archive.files if name != "__metadata__"}
-    model.load_state_dict(state)
-    return json.loads(metadata_raw)
+    arrays, metadata = read_archive(path)
+    model.load_state_dict(arrays)
+    return metadata
+
+
+# --------------------------------------------------------------------- #
+# schema v2: full training state
+# --------------------------------------------------------------------- #
+@dataclass
+class TrainingCheckpoint:
+    """Everything needed to resume a :class:`repro.training.Trainer` run.
+
+    ``state`` is the JSON side: schema version, last completed ``epoch``,
+    early-stopping state, RNG streams (trainer + per-module model
+    generators), and the per-epoch history lists.
+    """
+
+    model_state: Dict[str, np.ndarray]
+    best_state: Dict[str, np.ndarray]
+    optimizer_state: Optional[Dict]
+    state: Dict = field(default_factory=dict)
+
+    @property
+    def epoch(self) -> int:
+        """Last completed epoch (resume starts at ``epoch + 1``)."""
+        return int(self.state.get("epoch", -1))
+
+
+def _flatten_optimizer(optimizer_state: Dict, arrays: Dict[str, np.ndarray]) -> Dict:
+    """Split an optimizer state dict into npz arrays + a JSON template."""
+    scalars: Dict[str, object] = {}
+    slots: Dict[str, List[bool]] = {}
+    for key, value in optimizer_state.items():
+        if isinstance(value, list):
+            slots[key] = [item is not None for item in value]
+            for i, item in enumerate(value):
+                if item is not None:
+                    arrays[f"opt/{key}/{i}"] = item
+        else:
+            scalars[key] = value
+    return {"scalars": scalars, "slots": slots}
+
+
+def _rebuild_optimizer(template: Dict, arrays: Dict[str, np.ndarray]) -> Dict:
+    state: Dict[str, object] = dict(template["scalars"])
+    for key, filled in template["slots"].items():
+        state[key] = [arrays[f"opt/{key}/{i}"] if present else None for i, present in enumerate(filled)]
+    return state
+
+
+def save_training_checkpoint(
+    path: PathLike,
+    *,
+    model_state: Dict[str, np.ndarray],
+    best_state: Dict[str, np.ndarray],
+    optimizer_state: Optional[Dict],
+    state: Dict,
+) -> Path:
+    """Atomically persist a schema-v2 full-state checkpoint."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in model_state.items():
+        arrays[f"model/{name}"] = value
+    for name, value in best_state.items():
+        arrays[f"best/{name}"] = value
+    metadata = dict(state)
+    metadata["version"] = CHECKPOINT_VERSION
+    if optimizer_state is not None:
+        metadata["optimizer"] = _flatten_optimizer(optimizer_state, arrays)
+    return write_archive(path, arrays, metadata)
+
+
+def load_training_checkpoint(path: PathLike) -> TrainingCheckpoint:
+    """Load a schema-v2 checkpoint written by :func:`save_training_checkpoint`."""
+    arrays, metadata = read_archive(path)
+    version = metadata.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"{path} is not a full-state training checkpoint "
+            f"(schema version {version!r}, expected {CHECKPOINT_VERSION}); "
+            "model-only archives load via load_checkpoint()"
+        )
+    model_state = {k[len("model/") :]: v for k, v in arrays.items() if k.startswith("model/")}
+    best_state = {k[len("best/") :]: v for k, v in arrays.items() if k.startswith("best/")}
+    optimizer_state = None
+    if "optimizer" in metadata:
+        optimizer_state = _rebuild_optimizer(metadata.pop("optimizer"), arrays)
+    return TrainingCheckpoint(
+        model_state=model_state,
+        best_state=best_state,
+        optimizer_state=optimizer_state,
+        state=metadata,
+    )
+
+
+# --------------------------------------------------------------------- #
+# retention
+# --------------------------------------------------------------------- #
+def list_checkpoints(directory: PathLike) -> List[Path]:
+    """The Trainer's per-epoch checkpoints in ``directory``, oldest first."""
+    return sorted(Path(directory).glob(EPOCH_CHECKPOINT_GLOB))
+
+
+def latest_checkpoint(directory: PathLike) -> Optional[Path]:
+    """The newest per-epoch checkpoint in ``directory``, or None."""
+    found = list_checkpoints(directory)
+    return found[-1] if found else None
+
+
+def prune_checkpoints(directory: PathLike, keep_last: int) -> List[Path]:
+    """Delete all but the newest ``keep_last`` per-epoch checkpoints.
+
+    Returns the removed paths.  ``keep_last <= 0`` keeps everything.
+    """
+    if keep_last <= 0:
+        return []
+    found = list_checkpoints(directory)
+    removed = found[:-keep_last] if len(found) > keep_last else []
+    for path in removed:
+        path.unlink(missing_ok=True)
+    return removed

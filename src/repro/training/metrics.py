@@ -4,6 +4,12 @@ Computed on *raw-unit* arrays (vehicles / 5 min).  Following the PEMS
 evaluation convention used by the paper's baselines (DCRNN, GWN, STSGCN),
 near-zero ground-truth values are masked out of MAPE to avoid division
 blow-ups from sensor dropouts.
+
+Degraded-input convention: non-finite ground-truth entries (NaN/Inf — dead
+sensors, see :mod:`repro.data.imputation`) are masked out of *every* metric,
+so a partially observed target degrades the score instead of poisoning it.
+Empty inputs and all-masked targets return ``nan`` explicitly (no NumPy
+mean-of-empty warning).
 """
 
 from __future__ import annotations
@@ -14,21 +20,27 @@ import numpy as np
 
 
 def mae(prediction: np.ndarray, target: np.ndarray) -> float:
-    """Mean absolute error."""
+    """Mean absolute error over finite-target entries (``nan`` if none)."""
     prediction, target = _validate(prediction, target)
+    prediction, target = _mask_finite(prediction, target)
+    if target.size == 0:
+        return float("nan")
     return float(np.mean(np.abs(prediction - target)))
 
 
 def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
-    """Root mean squared error."""
+    """Root mean squared error over finite-target entries (``nan`` if none)."""
     prediction, target = _validate(prediction, target)
+    prediction, target = _mask_finite(prediction, target)
+    if target.size == 0:
+        return float("nan")
     return float(np.sqrt(np.mean((prediction - target) ** 2)))
 
 
 def mape(prediction: np.ndarray, target: np.ndarray, threshold: float = 1.0) -> float:
     """Mean absolute percentage error (%), masking targets below ``threshold``."""
     prediction, target = _validate(prediction, target)
-    mask = np.abs(target) >= threshold
+    mask = np.isfinite(target) & (np.abs(target) >= threshold)
     if not mask.any():
         return float("nan")
     return float(np.mean(np.abs((prediction[mask] - target[mask]) / target[mask])) * 100.0)
@@ -56,6 +68,13 @@ def horizon_breakdown(prediction: np.ndarray, target: np.ndarray, time_axis: int
         t = np.take(target, step, axis=time_axis)
         out[step + 1] = evaluate_all(p, t)
     return out
+
+
+def _mask_finite(prediction: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    mask = np.isfinite(target)
+    if mask.all():
+        return prediction, target
+    return prediction[mask], target[mask]
 
 
 def _validate(prediction: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -1,4 +1,4 @@
-"""Checkpoint save/load round trips."""
+"""Checkpoint save/load round trips (model-only v1 and full-state v2)."""
 
 from __future__ import annotations
 
@@ -7,8 +7,17 @@ import pytest
 
 from repro import nn
 from repro.core import make_st_wa
+from repro.optim import Adam
 from repro.tensor import Tensor, no_grad
-from repro.training import load_checkpoint, save_checkpoint
+from repro.training import (
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    load_training_checkpoint,
+    prune_checkpoints,
+    save_checkpoint,
+    save_training_checkpoint,
+)
 
 
 class TestCheckpoint:
@@ -48,3 +57,77 @@ class TestCheckpoint:
         wrong = nn.Linear(3, 2, rng=rng)
         with pytest.raises((KeyError, ValueError)):
             load_checkpoint(wrong, path)
+
+    def test_write_is_atomic_no_temp_leftovers(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        save_checkpoint(model, tmp_path / "lin.npz")
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names == ["lin.npz"]  # no .tmp residue
+
+    def test_overwrite_replaces_existing(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        path = save_checkpoint(model, tmp_path / "lin.npz", metadata={"epoch": 1})
+        assert load_checkpoint(model, path) == {"epoch": 1}
+        path = save_checkpoint(model, tmp_path / "lin.npz", metadata={"epoch": 2})
+        assert load_checkpoint(model, path) == {"epoch": 2}
+
+
+class TestTrainingCheckpoint:
+    def test_full_state_roundtrip(self, tmp_path, rng):
+        model = nn.MLP([4, 8, 2], rng=rng)
+        optimizer = Adam(model.parameters(), lr=3e-3)
+        for parameter in optimizer.parameters:
+            parameter.grad = rng.standard_normal(parameter.data.shape)
+        optimizer.step()
+        state = {
+            "epoch": 3,
+            "stopper": {"best": 1.25, "best_epoch": 2, "bad_epochs": 1},
+            "rng": {"trainer": np.random.default_rng(5).bit_generator.state, "modules": {}},
+            "history": {"val_mae": [2.0, 1.5, 1.25]},
+        }
+        path = save_training_checkpoint(
+            tmp_path / "ckpt.npz",
+            model_state=model.state_dict(),
+            best_state=model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            state=state,
+        )
+        ckpt = load_training_checkpoint(path)
+        assert ckpt.epoch == 3
+        assert ckpt.state["stopper"] == state["stopper"]
+        assert ckpt.state["rng"]["trainer"] == state["rng"]["trainer"]
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(ckpt.model_state[name], value)
+            np.testing.assert_array_equal(ckpt.best_state[name], value)
+        clone = Adam(nn.MLP([4, 8, 2], rng=rng).parameters(), lr=0.1)
+        clone.load_state_dict(ckpt.optimizer_state)
+        assert clone.lr == 3e-3
+        assert clone._step_count == 1
+
+    def test_v1_archive_rejected_as_v2(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        path = save_checkpoint(model, tmp_path / "lin.npz")
+        with pytest.raises(ValueError, match="schema version"):
+            load_training_checkpoint(path)
+
+    def test_retention_helpers(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        for epoch in range(5):
+            save_training_checkpoint(
+                tmp_path / f"ckpt_epoch_{epoch:04d}.npz",
+                model_state=model.state_dict(),
+                best_state=model.state_dict(),
+                optimizer_state=None,
+                state={"epoch": epoch},
+            )
+        assert latest_checkpoint(tmp_path).name == "ckpt_epoch_0004.npz"
+        removed = prune_checkpoints(tmp_path, keep_last=2)
+        assert len(removed) == 3
+        assert [p.name for p in list_checkpoints(tmp_path)] == [
+            "ckpt_epoch_0003.npz",
+            "ckpt_epoch_0004.npz",
+        ]
+        assert prune_checkpoints(tmp_path, keep_last=0) == []  # <=0 keeps all
+
+    def test_latest_checkpoint_empty_dir(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None

@@ -42,6 +42,52 @@ class TestBasics:
         assert set(out) == {"mae", "rmse", "mape"}
 
 
+class TestDegradedTargets:
+    """Non-finite ground truth (dead sensors) is masked out of every metric."""
+
+    def test_empty_arrays_return_nan(self):
+        empty = np.zeros(0)
+        assert np.isnan(mae(empty, empty))
+        assert np.isnan(rmse(empty, empty))
+        assert np.isnan(mape(empty, empty))
+
+    def test_all_masked_targets_return_nan(self):
+        prediction = np.array([1.0, 2.0])
+        target = np.full(2, np.nan)
+        assert np.isnan(mae(prediction, target))
+        assert np.isnan(rmse(prediction, target))
+        assert np.isnan(mape(prediction, target))
+
+    def test_partial_nan_targets_are_ignored(self):
+        prediction = np.array([2.0, 99.0, 4.0])
+        target = np.array([1.0, np.nan, 2.0])
+        assert mae(prediction, target) == 1.5
+        np.testing.assert_allclose(rmse(prediction, target), np.sqrt(2.5))
+        np.testing.assert_allclose(mape(prediction, target), 100.0)
+
+    def test_inf_targets_are_masked_too(self):
+        prediction = np.array([1.0, 5.0])
+        target = np.array([1.0, np.inf])
+        assert mae(prediction, target) == 0.0
+
+    def test_evaluate_all_with_degraded_targets(self, rng):
+        prediction = rng.standard_normal(20) + 100.0
+        target = prediction.copy()
+        target[::3] = np.nan
+        out = evaluate_all(prediction, target)
+        assert out["mae"] == 0.0
+        assert out["rmse"] == 0.0
+        assert out["mape"] == 0.0
+
+    def test_horizon_breakdown_with_nan_step(self, rng):
+        prediction = rng.standard_normal((2, 3, 4, 1))
+        target = prediction.copy()
+        target[:, :, 1] = np.nan  # one fully-dead horizon step
+        out = horizon_breakdown(prediction, target)
+        assert np.isnan(out[2]["mae"])
+        assert out[1]["mae"] == 0.0
+
+
 class TestHorizonBreakdown:
     def test_per_step_keys(self, rng):
         prediction = rng.standard_normal((4, 3, 6, 1))
