@@ -9,7 +9,10 @@ runtime profile built on :mod:`repro.obs` — and ``bench`` backs
 ``python -m repro.harness bench``, the benchmark trajectory harness that
 writes ``BENCH_<date>.json`` perf snapshots.  ``chaos`` backs
 ``python -m repro.harness chaos`` — fault-injection drills
-(:mod:`repro.resilience`) that write ``chaos_report.json``.
+(:mod:`repro.resilience`) that write ``chaos_report.json`` — and
+``serve_bench`` backs ``python -m repro.harness serve-bench``, the online
+serving load benchmark (:mod:`repro.serve`) that writes
+``serve_bench.json``.
 """
 
 from typing import Callable, Dict
@@ -22,6 +25,7 @@ from . import (
     figure9,
     figure10,
     profile,
+    serve_bench,
     table4,
     table5,
     table6,
@@ -65,6 +69,7 @@ __all__ = [
     "bench",
     "chaos",
     "profile",
+    "serve_bench",
     "train_and_score",
     "train_and_score_model",
 ]

@@ -7,6 +7,7 @@ Usage::
     python -m repro.harness profile st-wa --out results/
     python -m repro.harness bench --scope smoke --check
     python -m repro.harness chaos --fast --out results/
+    python -m repro.harness serve-bench --fast --out results/
 
 ``profile <model> [<model> ...]`` runs a short instrumented training pass
 and prints the top-K op/module runtime table; the full breakdown lands in
@@ -17,8 +18,11 @@ and with ``--check`` exits nonzero if the ST-WA smoke epoch regressed more
 than ``--max-regression``.  ``chaos`` runs the fault-injection drills
 (kill/resume, NaN gradient, sensor dropout — see :mod:`repro.resilience`),
 writes ``<out>/chaos_report.json``, and exits nonzero unless every scenario
-recovered; ``--fast`` shrinks it to the CI budget.  Other results are
-printed and saved as text files under ``--out``.
+recovered; ``--fast`` shrinks it to the CI budget.  ``serve-bench`` load-
+tests the online inference engine (:mod:`repro.serve`) — micro-batching,
+prediction cache, fallback drill, latency SLOs — writes
+``<out>/serve_bench.json``, and exits nonzero if the SLO or any drill
+fails.  Other results are printed and saved as text files under ``--out``.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ import sys
 import time
 from pathlib import Path
 
-from . import EXPERIMENTS, RunSettings, bench, chaos, profile
+from . import EXPERIMENTS, RunSettings, bench, chaos, profile, serve_bench
 
 
 def main(argv=None) -> int:
@@ -58,12 +62,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--fast",
         action="store_true",
-        help="chaos only: shrink the drills to the CI budget (fewer epochs/batches)",
+        help="chaos/serve-bench: shrink the run to the CI budget (fewer epochs/requests)",
     )
     parser.add_argument(
         "--model",
         default="st-wa",
-        help="chaos only: model to run the fault drills against (default st-wa)",
+        help="chaos/serve-bench: model to run against (default st-wa)",
+    )
+    parser.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        default=500.0,
+        help="serve-bench only: p95 latency objective in ms (default 500)",
     )
     args = parser.parse_args(argv)
 
@@ -98,6 +108,23 @@ def main(argv=None) -> int:
         print(f"[chaos done in {elapsed:.1f}s]\n", flush=True)
         result.save(out_dir)
         return 0 if report["all_recovered"] else 1
+
+    if args.experiments[0] == "serve-bench":
+        if len(args.experiments) > 1:
+            parser.error("serve-bench takes no experiment arguments")
+        start = time.perf_counter()
+        result, report = serve_bench.run(
+            settings=settings,
+            out_dir=out_dir,
+            fast=args.fast,
+            model_name=args.model,
+            slo_p95_ms=args.slo_p95_ms,
+        )
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[serve-bench done in {elapsed:.1f}s]\n", flush=True)
+        result.save(out_dir)
+        return 0 if report["ok"] else 1
 
     if args.experiments[0] == "profile":
         models = args.experiments[1:]

@@ -5,6 +5,9 @@ ST-WA smoke epoch — and writes ``BENCH_<date>.json`` with wall times,
 engine-side gradient-allocation counts (see
 :func:`repro.tensor.set_grad_alloc_hook`), and per-benchmark / per-op deltas
 against the most recent previous ``BENCH_*.json`` in the output directory.
+The same payload is mirrored to a root-level ``BENCH_latest.json`` — a
+moving pointer to the newest snapshot that tooling can read without
+globbing for dates (never used as a diff baseline).
 Committing the JSON gives every future PR a perf baseline to diff against;
 ``--check`` turns a >``--max-regression`` slowdown of the ST-WA smoke epoch
 into a nonzero exit for CI.
@@ -30,6 +33,9 @@ from .runner import RunSettings
 
 #: repeats per microbenchmark, keyed by scope
 _REPEATS = {"smoke": 5, "quick": 15, "standard": 40}
+
+#: root-level pointer to the newest snapshot, refreshed by every bench run
+LATEST_NAME = "BENCH_latest.json"
 
 
 def _microbenchmarks(rng: np.random.Generator) -> List[Tuple[str, Callable[[], Tensor]]]:
@@ -152,8 +158,17 @@ def _st_wa_smoke(settings: RunSettings) -> Dict[str, object]:
 
 
 def _find_previous(out_dir: Path, current_name: str) -> Optional[Path]:
-    """Most recent ``BENCH_*.json`` in ``out_dir`` other than ``current_name``."""
-    candidates = sorted(p for p in out_dir.glob("BENCH_*.json") if p.name != current_name)
+    """Most recent dated ``BENCH_*.json`` in ``out_dir`` other than ``current_name``.
+
+    ``BENCH_latest.json`` is excluded: it is a moving pointer to the newest
+    snapshot, not a baseline (and sorts after every date), so diffing
+    against it would compare a run with itself.
+    """
+    candidates = sorted(
+        p
+        for p in out_dir.glob("BENCH_*.json")
+        if p.name != current_name and p.name != LATEST_NAME
+    )
     return candidates[-1] if candidates else None
 
 
@@ -226,7 +241,11 @@ def run(
             }
         payload["previous"] = previous_name
         payload["deltas_vs_previous"] = deltas or None
-        (out_path / bench_name).write_text(json.dumps(payload, indent=2) + "\n")
+        serialized = json.dumps(payload, indent=2) + "\n"
+        (out_path / bench_name).write_text(serialized)
+        # root-level moving pointer so tooling can read "the current perf
+        # snapshot" without globbing for the newest date
+        (out_path.parent / LATEST_NAME).write_text(serialized)
 
     regressed = False
     wall_delta = deltas.get("st_wa_wall_seconds") if deltas else None

@@ -29,13 +29,14 @@ from .faults import (
     SimulatedCrash,
     inject_sensor_dropout,
 )
-from .recovery import LossExplosionError, RecoveryPolicy
+from .recovery import CircuitBreaker, LossExplosionError, RecoveryPolicy
 
 __all__ = [
     "NumericalAnomalyError",
     "detect_anomaly",
     "LossExplosionError",
     "RecoveryPolicy",
+    "CircuitBreaker",
     "SimulatedCrash",
     "NaNGradientFault",
     "ProcessKillFault",

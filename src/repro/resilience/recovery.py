@@ -25,7 +25,10 @@ the Trainer's :class:`repro.obs.MetricsSink` (see DESIGN.md "Resilience").
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 
 class LossExplosionError(FloatingPointError):
@@ -75,3 +78,75 @@ class RecoveryPolicy:
     def backed_off_lr(self, lr: float) -> float:
         """The learning rate to retry with after one more failure."""
         return max(self.min_lr, lr * self.lr_factor)
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit for degraded-mode serving.
+
+    The online engine (:mod:`repro.serve`) routes every model forward
+    through one of these: after ``failure_threshold`` consecutive failures
+    the circuit *opens* and requests are served by the classical fallback
+    without touching the model at all — a crashed or pathological model
+    must not take per-request exception overhead (or latency) with it.
+    After ``cooldown_s`` the next request is let through as a probe
+    (half-open); its outcome closes or re-opens the circuit.
+
+    Thread-safe; the clock is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self.opens = 0  # total open transitions, for observability
+
+    @property
+    def is_open(self) -> bool:
+        with self._lock:
+            return self._opened_at is not None
+
+    def allow(self) -> bool:
+        """Whether the next request may try the model.
+
+        True while closed; while open, True only once the cooldown elapsed
+        (the half-open probe — its ``record_*`` outcome decides the rest).
+        """
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            return self._clock() - self._opened_at >= self.cooldown_s
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                if self._opened_at is None:
+                    self.opens += 1
+                self._opened_at = self._clock()  # (re)start the cooldown
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "open": self._opened_at is not None,
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+                "opens": self.opens,
+            }

@@ -1,0 +1,254 @@
+"""The online inference engine: ingest -> buffer -> batch -> cache -> model.
+
+:class:`ServingEngine` is the request path of the repo's north-star
+deployment story.  One engine owns:
+
+* a :class:`repro.serve.StreamStateStore` fed by :meth:`ServingEngine.ingest`
+  (live observations, possibly partial/late);
+* a :class:`repro.serve.MicroBatcher` that coalesces concurrent
+  :meth:`ServingEngine.forecast` calls into single batched forwards of the
+  frozen :class:`repro.serve.ForecasterArtifact`;
+* a :class:`repro.serve.PredictionCache` keyed on (model id, window
+  fingerprint, horizon), TTL-bounded and invalidated by every ingest;
+* a :class:`repro.resilience.CircuitBreaker` plus a classical persistence
+  fallback — model exceptions and deadline overruns degrade to a cheap
+  last-value forecast (``source="fallback"``) instead of failing the
+  request, and repeated failures stop touching the model at all;
+* a :class:`repro.serve.metrics.ServingStats` bundle (latency quantiles,
+  batch-size/queue-depth distributions, cache hit rate) mirrored as
+  structured events on an optional :class:`repro.obs.MetricsSink`.
+
+Request lifecycle (see DESIGN.md "Serving"): cache lookup -> circuit check
+-> micro-batched model forward (bounded by ``deadline_ms``) -> cache fill
+-> metrics; any failure en route detours to the fallback forecast.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.classical import PersistenceForecaster
+from ..obs import MetricsSink, NullSink, SafeSink
+from ..resilience import CircuitBreaker
+from ..tensor import Tensor, inference_mode
+from .artifact import ForecasterArtifact
+from .batcher import MicroBatcher
+from .cache import PredictionCache
+from .metrics import ServingStats
+from .state import StreamStateStore
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of the online request path."""
+
+    max_batch_size: int = 16  # micro-batcher coalescing limit
+    max_wait_ms: float = 2.0  # linger after the first queued request
+    cache_ttl_s: float = 30.0  # prediction staleness bound
+    cache_capacity: int = 256
+    deadline_ms: Optional[float] = 1000.0  # per-request budget; overrun -> fallback
+    failure_threshold: int = 3  # consecutive failures before the circuit opens
+    cooldown_s: float = 2.0  # open-circuit probe interval
+    impute_method: str = "last"  # ring-buffer gap fill
+    sink: Optional[MetricsSink] = None  # structured serve events (JSONL etc.)
+    latency_capacity: int = 4096  # latency reservoir size
+
+
+@dataclass
+class ForecastResult:
+    """One served forecast plus its provenance."""
+
+    forecast: np.ndarray  # (N, U, F), raw units
+    source: str  # "model" | "cache" | "fallback"
+    latency_s: float
+    reason: str = ""  # fallback cause, empty otherwise
+    batched: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.source != "fallback"
+
+
+class ServingEngine:
+    """Serve forecasts from a frozen artifact over a live sensor stream."""
+
+    def __init__(
+        self,
+        artifact: ForecasterArtifact,
+        num_sensors: int,
+        num_features: int = 1,
+        config: Optional[ServeConfig] = None,
+    ):
+        self.artifact = artifact
+        self.config = config or ServeConfig()
+        self.store = StreamStateStore(
+            num_sensors,
+            window=artifact.history,
+            num_features=num_features,
+            impute_method=self.config.impute_method,
+        )
+        self.cache = PredictionCache(
+            ttl_seconds=self.config.cache_ttl_s, capacity=self.config.cache_capacity
+        )
+        self.stats = ServingStats(self.config.latency_capacity)
+        self.circuit = CircuitBreaker(
+            failure_threshold=self.config.failure_threshold,
+            cooldown_s=self.config.cooldown_s,
+        )
+        self._fallback_model = PersistenceForecaster(artifact.history, artifact.horizon)
+        self.sink: MetricsSink = (
+            NullSink() if self.config.sink is None else SafeSink(self.config.sink)
+        )
+        self._observed = self.config.sink is not None
+        self.batcher = MicroBatcher(
+            self.artifact.predict,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_s=self.config.max_wait_ms / 1e3,
+            on_batch=self._record_batch,
+        )
+
+    # ------------------------------------------------------------------ #
+    # ingest path
+    # ------------------------------------------------------------------ #
+    def ingest(self, values: np.ndarray, sensor_ids=None) -> int:
+        """Feed one stream tick; invalidates forecasts built on older state."""
+        version = self.store.ingest(values, sensor_ids=sensor_ids)
+        dropped = self.cache.invalidate_before(version)
+        self.stats.ingests += 1
+        if self._observed and dropped:
+            self.sink.emit(
+                {"event": "cache_invalidate", "version": version, "dropped": dropped}
+            )
+        return version
+
+    # ------------------------------------------------------------------ #
+    # request path
+    # ------------------------------------------------------------------ #
+    def forecast(self, window: Optional[np.ndarray] = None) -> ForecastResult:
+        """Serve one forecast for ``window`` (default: the live stream state).
+
+        Never raises for model-side problems: exceptions, deadline overruns
+        and an open circuit all degrade to the persistence fallback with
+        ``source="fallback"`` and an explanatory ``reason``.
+        """
+        start = time.perf_counter()
+        if window is None:
+            window, _mask = self.store.window()
+        else:
+            window = np.asarray(window, dtype=np.float64)
+        data_version = self.store.version
+        key = self.cache.make_key(self.artifact.model_id, window, self.artifact.horizon)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return self._finish(cached, "cache", start)
+        self.stats.cache_misses += 1
+
+        if not self.circuit.allow():
+            self.stats.fallbacks += 1
+            return self._finish(self._fallback(window), "fallback", start, reason="circuit_open")
+
+        timeout = None if self.config.deadline_ms is None else self.config.deadline_ms / 1e3
+        future = self.batcher.submit(window)
+        # late results still warm the cache for the next identical query
+        future.add_done_callback(self._make_cache_filler(key, data_version))
+        try:
+            forecast = future.result(timeout=timeout)
+        except FutureTimeoutError:
+            self.stats.fallbacks += 1
+            self.circuit.record_failure()
+            return self._finish(
+                self._fallback(window), "fallback", start, reason="deadline_overrun"
+            )
+        except Exception as error:
+            self.stats.fallbacks += 1
+            self.stats.errors += 1
+            self.circuit.record_failure()
+            return self._finish(
+                self._fallback(window),
+                "fallback",
+                start,
+                reason=f"{type(error).__name__}: {error}",
+            )
+        self.circuit.record_success()
+        return self._finish(forecast, "model", start, batched=True)
+
+    def _make_cache_filler(self, key, data_version):
+        def fill(future) -> None:
+            if future.cancelled() or future.exception() is not None:
+                return
+            self.cache.put(key, future.result(), data_version)
+
+        return fill
+
+    def _fallback(self, window: np.ndarray) -> np.ndarray:
+        """Classical persistence forecast in raw units (never the model)."""
+        with inference_mode():
+            return self._fallback_model(Tensor(window[None])).numpy()[0]
+
+    def _finish(
+        self,
+        forecast: np.ndarray,
+        source: str,
+        start: float,
+        reason: str = "",
+        batched: bool = False,
+    ) -> ForecastResult:
+        latency = time.perf_counter() - start
+        self.stats.latency.record(latency)
+        if self._observed:
+            event = {
+                "event": "request",
+                "source": source,
+                "latency_ms": 1e3 * latency,
+                "time": time.time(),
+            }
+            if reason:
+                event["reason"] = reason
+            self.sink.emit(event)
+            if source == "fallback":
+                self.sink.emit(
+                    {"event": "fallback", "reason": reason, "time": time.time()}
+                )
+        return ForecastResult(
+            forecast=forecast, source=source, latency_s=latency, reason=reason, batched=batched
+        )
+
+    def _record_batch(self, batch_size: int, queue_depth: int, wait_seconds: float) -> None:
+        self.stats.batch_sizes.record(batch_size)
+        self.stats.queue_depths.record(queue_depth)
+        if self._observed:
+            self.sink.emit(
+                {
+                    "event": "serve_batch",
+                    "batch_size": batch_size,
+                    "queue_depth": queue_depth,
+                    "wait_ms": 1e3 * wait_seconds,
+                }
+            )
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Full observability snapshot: stats + cache + store + circuit."""
+        snap = self.stats.snapshot()
+        snap["cache"] = self.cache.stats()
+        snap["store"] = self.store.snapshot()
+        snap["circuit"] = self.circuit.snapshot()
+        snap["model_id"] = self.artifact.model_id
+        return snap
+
+    def close(self) -> None:
+        self.batcher.close()
+        self.sink.close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -30,7 +30,9 @@ from .functional import (
 from .tensor import (
     Tensor,
     as_tensor,
+    inference_mode,
     is_grad_enabled,
+    is_inference_mode_enabled,
     no_grad,
     ones,
     set_grad_alloc_hook,
@@ -44,7 +46,9 @@ __all__ = [
     "zeros",
     "ones",
     "no_grad",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode_enabled",
     "unbroadcast",
     "set_grad_alloc_hook",
     "ops",

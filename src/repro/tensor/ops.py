@@ -33,6 +33,7 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import tensor as tensor_module
 from .tensor import ArrayLike, Tensor, as_tensor
 
 Axis = Union[None, int, Tuple[int, ...]]
@@ -796,7 +797,7 @@ def _traced(name: str, fn):
     def wrapper(*args, **kwargs):
         hook = _trace_hook
         anomaly = _anomaly_check
-        if hook is None and anomaly is None:
+        if (hook is None and anomaly is None) or tensor_module._inference_mode:
             return fn(*args, **kwargs)
         start = _time.perf_counter()
         out = fn(*args, **kwargs)

@@ -47,6 +47,38 @@ def is_grad_enabled() -> bool:
     return _grad_enabled
 
 
+_inference_mode = False
+
+
+class inference_mode(no_grad):
+    """The serving fast path: ``no_grad`` plus zero per-op bookkeeping.
+
+    Beyond disabling graph recording, ops executed inside this context skip
+    the trace/anomaly wrapper entirely (:func:`repro.tensor.ops.set_op_trace`
+    hooks and :func:`detect_anomaly` screens see nothing), so a forward pass
+    costs exactly its NumPy arithmetic.  Online inference
+    (:mod:`repro.serve`) runs every model forward under this context; its
+    own request-level metrics replace op-level tracing there.
+    """
+
+    def __enter__(self) -> "inference_mode":
+        global _inference_mode
+        super().__enter__()
+        self._prev_inference = _inference_mode
+        _inference_mode = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _inference_mode
+        super().__exit__(*exc)
+        _inference_mode = self._prev_inference
+
+
+def is_inference_mode_enabled() -> bool:
+    """Return whether the serving fast path (:class:`inference_mode`) is active."""
+    return _inference_mode
+
+
 def _as_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
@@ -180,8 +212,11 @@ class Tensor:
         backward_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create a graph node from an op's output (internal helper for ops)."""
+        if not _grad_enabled:
+            # no_grad / inference_mode: no parents scan, no closure retained
+            return Tensor(data)
         parents = tuple(parents)
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(p for p in parents if p.requires_grad)

@@ -3,6 +3,7 @@
 from . import memory
 from .checkpoint import (
     CHECKPOINT_VERSION,
+    CheckpointError,
     TrainingCheckpoint,
     latest_checkpoint,
     list_checkpoints,
@@ -33,6 +34,7 @@ __all__ = [
     "load_training_checkpoint",
     "TrainingCheckpoint",
     "CHECKPOINT_VERSION",
+    "CheckpointError",
     "list_checkpoints",
     "latest_checkpoint",
     "prune_checkpoints",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -34,6 +35,19 @@ PathLike = Union[str, Path]
 
 #: bump when the full-state archive layout changes
 CHECKPOINT_VERSION = 2
+
+
+class CheckpointError(ValueError):
+    """A checkpoint archive is unreadable, foreign, or schema-incompatible.
+
+    Raised instead of the raw ``KeyError`` / ``zipfile.BadZipFile`` /
+    ``json.JSONDecodeError`` that a truncated or foreign ``.npz`` would
+    otherwise surface, so callers (``Trainer.fit(resume_from=...)``,
+    :class:`repro.serve.ForecasterArtifact`) get one clear exception naming
+    the path and — for schema mismatches — the found vs. expected version.
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    handling keeps working.
+    """
 
 #: filename pattern of the Trainer's per-epoch checkpoints
 EPOCH_CHECKPOINT_GLOB = "ckpt_epoch_*.npz"
@@ -76,11 +90,31 @@ def write_archive(path: PathLike, arrays: Dict[str, np.ndarray], metadata: Optio
 
 
 def read_archive(path: PathLike) -> tuple:
-    """Load ``(arrays, metadata)`` from an archive written by :func:`write_archive`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
-        raw = archive["__metadata__"] if "__metadata__" in archive.files else np.zeros(0, np.uint8)
-        metadata = json.loads(raw.tobytes().decode("utf-8")) if raw.size else {}
-        arrays = {name: archive[name] for name in archive.files if name != "__metadata__"}
+    """Load ``(arrays, metadata)`` from an archive written by :func:`write_archive`.
+
+    Raises :class:`CheckpointError` when ``path`` is missing, truncated, not
+    an ``.npz`` at all, or carries undecodable metadata — never a bare
+    ``zipfile``/``json`` error from three layers down.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            raw = (
+                archive["__metadata__"] if "__metadata__" in archive.files else np.zeros(0, np.uint8)
+            )
+            metadata = json.loads(raw.tobytes().decode("utf-8")) if raw.size else {}
+            arrays = {name: archive[name] for name in archive.files if name != "__metadata__"}
+    except CheckpointError:
+        raise
+    except (zipfile.BadZipFile, ValueError, OSError, KeyError, EOFError) as error:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt or not a repro archive "
+            f"({type(error).__name__}: {error})"
+        ) from error
+    except UnicodeDecodeError as error:
+        raise CheckpointError(f"checkpoint {path} carries undecodable metadata") from error
     return arrays, metadata
 
 
@@ -179,7 +213,7 @@ def load_training_checkpoint(path: PathLike) -> TrainingCheckpoint:
     arrays, metadata = read_archive(path)
     version = metadata.get("version")
     if version != CHECKPOINT_VERSION:
-        raise ValueError(
+        raise CheckpointError(
             f"{path} is not a full-state training checkpoint "
             f"(schema version {version!r}, expected {CHECKPOINT_VERSION}); "
             "model-only archives load via load_checkpoint()"

@@ -494,6 +494,7 @@ class Trainer:
         """Raw-unit MAE/RMSE/MAPE over ``split`` (NaN targets are masked)."""
         if split not in self._windows:
             raise KeyError(f"split must be one of {sorted(self._windows)}")
+        was_training = self.model.training
         self.model.eval()
         predictions, targets = [], []
         iterator = BatchIterator(
@@ -502,20 +503,31 @@ class Trainer:
             shuffle=False,
             max_batches=max_batches,
         )
-        with no_grad():
-            for x_batch, y_raw in iterator:
-                prediction = self.model(Tensor(x_batch)).numpy()
-                predictions.append(self.dataset.scaler.inverse_transform(prediction))
-                targets.append(y_raw)
+        try:
+            with no_grad():
+                for x_batch, y_raw in iterator:
+                    prediction = self.model(Tensor(x_batch)).numpy()
+                    predictions.append(self.dataset.scaler.inverse_transform(prediction))
+                    targets.append(y_raw)
+        finally:
+            self.model.train(was_training)
         prediction = np.concatenate(predictions)
         target = np.concatenate(targets)
         return metrics_module.evaluate_all(prediction, target)
 
     def predict(self, x_batch: np.ndarray) -> np.ndarray:
-        """Forecast raw-unit values for a scaled input batch."""
+        """Forecast raw-unit values for a scaled input batch (eval mode).
+
+        Dropout and latent sampling are off for the forward pass; the
+        model's previous train/eval mode is restored afterward.
+        """
+        was_training = self.model.training
         self.model.eval()
-        with no_grad():
-            scaled = self.model(Tensor(x_batch)).numpy()
+        try:
+            with no_grad():
+                scaled = self.model(Tensor(x_batch)).numpy()
+        finally:
+            self.model.train(was_training)
         return self.dataset.scaler.inverse_transform(scaled)
 
 

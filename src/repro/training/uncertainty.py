@@ -57,13 +57,16 @@ def sample_forecasts(
     """
     if num_samples < 1:
         raise ValueError("num_samples must be >= 1")
+    was_training = model.training
     model.train()  # activate the latent sampler
     samples = []
-    with no_grad():
-        for _ in range(num_samples):
-            prediction = model(Tensor(x_batch)).numpy()
-            samples.append(scaler.inverse_transform(prediction))
-    model.eval()
+    try:
+        with no_grad():
+            for _ in range(num_samples):
+                prediction = model(Tensor(x_batch)).numpy()
+                samples.append(scaler.inverse_transform(prediction))
+    finally:
+        model.train(was_training)
     return np.stack(samples)
 
 

@@ -89,6 +89,26 @@ class TestBenchRun:
         )
         assert "previous" not in result.extras["payload"]
 
+    def test_latest_pointer_mirrors_snapshot(self, tmp_path):
+        out = tmp_path / "results"
+        bench.run(settings=RunSettings.from_scope("smoke"), out_dir=out, date="2026-02-02")
+        latest = tmp_path / bench.LATEST_NAME  # root-level, next to the out dir
+        assert latest.exists()
+        assert json.loads(latest.read_text()) == json.loads(
+            (out / "BENCH_2026-02-02.json").read_text()
+        )
+
+    def test_find_previous_ignores_latest_pointer(self, tmp_path):
+        (tmp_path / "BENCH_2026-01-01.json").write_text("{}")
+        # "latest" sorts after any date; it must never be picked as baseline
+        (tmp_path / bench.LATEST_NAME).write_text("{}")
+        previous = bench._find_previous(tmp_path, "BENCH_2026-01-02.json")
+        assert previous.name == "BENCH_2026-01-01.json"
+        only_latest = tmp_path / "empty"
+        only_latest.mkdir()
+        (only_latest / bench.LATEST_NAME).write_text("{}")
+        assert bench._find_previous(only_latest, "BENCH_2026-01-02.json") is None
+
 
 class TestBenchCLI:
     def test_bench_subcommand(self, tmp_path, capsys):

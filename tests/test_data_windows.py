@@ -71,6 +71,44 @@ class TestSlidingWindowDataset:
         assert y.shape == (3, 4, 2, 1)
 
 
+class TestEdgeCases:
+    def test_series_shorter_than_window(self):
+        """A series shorter than the history window alone is unusable."""
+        with pytest.raises(ValueError, match="too short"):
+            SlidingWindowDataset(np.zeros((2, 4, 1)), WindowSpec(5, 3))
+
+    def test_series_shorter_than_window_plus_horizon(self):
+        # enough for the history but not the target
+        with pytest.raises(ValueError, match="too short"):
+            SlidingWindowDataset(np.zeros((2, 7, 1)), WindowSpec(5, 3))
+
+    def test_exact_length_series_yields_one_window(self):
+        data = make_series(t=8)  # T == H + U exactly
+        dataset = SlidingWindowDataset(data, WindowSpec(5, 3))
+        assert len(dataset) == 1
+        x, y = dataset[0]
+        np.testing.assert_array_equal(x[0, :, 0], np.arange(5))
+        np.testing.assert_array_equal(y[0, :, 0], np.arange(5, 8))
+        with pytest.raises(IndexError):
+            dataset.sample(np.array([1]))
+
+    def test_nan_tail_windows_preserved(self):
+        """Dead-sensor NaNs in the tail flow through to the targets untouched.
+
+        The masked-loss path downstream relies on seeing the NaNs; windowing
+        must neither fill nor reject them.
+        """
+        data = make_series(t=20)
+        data[0, -3:, 0] = np.nan  # sensor 0 dies for the last horizon steps
+        dataset = SlidingWindowDataset(data, WindowSpec(5, 3))
+        x_last, y_last = dataset[len(dataset) - 1]
+        assert np.isnan(y_last[0]).all()  # targets keep the NaN tail
+        assert np.isfinite(x_last[0]).all()  # history precedes the outage
+        assert np.isfinite(y_last[1:]).all()  # other sensors unaffected
+        x_first, y_first = dataset[0]
+        assert np.isfinite(x_first).all() and np.isfinite(y_first).all()
+
+
 class TestChronologicalSplit:
     def test_fractions_validated(self):
         data = make_series()

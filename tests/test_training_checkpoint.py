@@ -10,6 +10,7 @@ from repro.core import make_st_wa
 from repro.optim import Adam
 from repro.tensor import Tensor, no_grad
 from repro.training import (
+    CheckpointError,
     latest_checkpoint,
     list_checkpoints,
     load_checkpoint,
@@ -109,6 +110,41 @@ class TestTrainingCheckpoint:
         path = save_checkpoint(model, tmp_path / "lin.npz")
         with pytest.raises(ValueError, match="schema version"):
             load_training_checkpoint(path)
+
+    def test_version_mismatch_is_checkpoint_error(self, tmp_path, rng):
+        """The clear-diagnosis contract: found vs expected, not a KeyError."""
+        model = nn.Linear(2, 2, rng=rng)
+        path = save_checkpoint(model, tmp_path / "lin.npz")
+        with pytest.raises(CheckpointError, match=r"found.*expected|schema version"):
+            load_training_checkpoint(path)
+
+    def test_truncated_file_is_checkpoint_error(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        path = save_training_checkpoint(
+            tmp_path / "ckpt.npz",
+            model_state=model.state_dict(),
+            best_state=model.state_dict(),
+            optimizer_state=None,
+            state={"epoch": 0},
+        )
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_training_checkpoint(path)
+
+    def test_garbage_file_is_checkpoint_error(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_training_checkpoint(path)
+
+    def test_missing_file_is_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_training_checkpoint(tmp_path / "absent.npz")
+
+    def test_checkpoint_error_is_value_error(self):
+        # resume_from callers that caught ValueError keep working
+        assert issubclass(CheckpointError, ValueError)
 
     def test_retention_helpers(self, tmp_path, rng):
         model = nn.Linear(2, 2, rng=rng)

@@ -5,8 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import nn
 from repro.core import make_wa
 from repro.baselines import GRUForecaster
+from repro.baselines.classical import PersistenceForecaster
 from repro.data import WindowSpec
 from repro.training import Trainer, TrainerConfig
 
@@ -88,3 +90,54 @@ class TestEvaluate:
         prediction = trainer.predict(x[:, :, :12])
         assert prediction.shape == (1, tiny_dataset.num_sensors, 12, 1)
         assert prediction.mean() > 1.0  # raw scale
+
+
+class DropoutForecaster(nn.Module):
+    """Persistence behind an aggressive dropout: nondeterministic in train
+    mode, so any eval path that forgets ``model.eval()`` is caught red-handed."""
+
+    def __init__(self):
+        super().__init__()
+        self.dropout = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        self.inner = PersistenceForecaster(12, 12)
+
+    def forward(self, x):
+        return self.inner(self.dropout(x))
+
+
+class TestEvalMode:
+    def test_predict_is_deterministic_with_dropout(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset, model=DropoutForecaster())
+        trainer.model.train()  # as fit() leaves it
+        x = tiny_dataset.test[:, :12][None]
+        first = trainer.predict(x)
+        second = trainer.predict(x)
+        np.testing.assert_array_equal(first, second)
+
+    def test_predict_has_dropout_disabled(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset, model=DropoutForecaster())
+        trainer.model.train()
+        x = tiny_dataset.test[:, :12][None]
+        prediction = trainer.predict(x)
+        # with dropout truly off, the model is exact persistence in raw units
+        expected = np.repeat(tiny_dataset.test_raw[:, 11:12][None], 12, axis=2)
+        np.testing.assert_allclose(prediction, expected)
+
+    def test_evaluate_restores_training_mode(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset, model=DropoutForecaster())
+        trainer.model.train()
+        trainer.evaluate("val", max_batches=1)
+        assert trainer.model.training
+        assert trainer.model.dropout.training
+
+    def test_evaluate_preserves_eval_mode(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset, model=DropoutForecaster())
+        trainer.model.eval()
+        trainer.evaluate("val", max_batches=1)
+        assert not trainer.model.training
+
+    def test_predict_restores_training_mode(self, tiny_dataset):
+        trainer = small_trainer(tiny_dataset, model=DropoutForecaster())
+        trainer.model.train()
+        trainer.predict(tiny_dataset.test[:, :12][None])
+        assert trainer.model.training

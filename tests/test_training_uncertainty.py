@@ -43,10 +43,14 @@ class TestSampling:
         samples = sample_forecasts(model, batch[0], tiny_dataset.scaler, num_samples=3)
         np.testing.assert_array_equal(samples[0], samples[1])
 
-    def test_model_left_in_eval_mode(self, tiny_dataset, batch):
+    def test_model_mode_restored(self, tiny_dataset, batch):
         model = make_st_wa(tiny_dataset.num_sensors, seed=0, **SMALL)
+        model.eval()
         sample_forecasts(model, batch[0], tiny_dataset.scaler, num_samples=2)
-        assert not model.training
+        assert not model.training  # eval callers get their model back in eval
+        model.train()
+        sample_forecasts(model, batch[0], tiny_dataset.scaler, num_samples=2)
+        assert model.training  # and training callers stay in training mode
 
 
 class TestIntervals:
