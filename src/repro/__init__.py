@@ -26,6 +26,11 @@ Subpackages
     Observability: op-level profiler, module spans, JSONL metric sinks.
 ``repro.resilience``
     Fault tolerance: anomaly detection, divergence recovery, fault drills.
+``repro.parallel``
+    Multiprocess data-parallel training: worker pool, gradient all-reduce,
+    shared-memory batch prefetching (``Trainer(n_workers=...)``).
+``repro.serve``
+    Online inference: artifacts, micro-batching, caching, latency SLOs.
 
 Quickstart
 ----------
@@ -41,7 +46,20 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import analysis, baselines, core, data, harness, nn, obs, optim, resilience, tensor, training
+from . import (
+    analysis,
+    baselines,
+    core,
+    data,
+    harness,
+    nn,
+    obs,
+    optim,
+    parallel,
+    resilience,
+    tensor,
+    training,
+)
 
 __all__ = [
     "tensor",
@@ -54,6 +72,7 @@ __all__ = [
     "analysis",
     "harness",
     "obs",
+    "parallel",
     "resilience",
     "__version__",
 ]

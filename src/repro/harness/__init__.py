@@ -12,7 +12,9 @@ writes ``BENCH_<date>.json`` perf snapshots.  ``chaos`` backs
 (:mod:`repro.resilience`) that write ``chaos_report.json`` — and
 ``serve_bench`` backs ``python -m repro.harness serve-bench``, the online
 serving load benchmark (:mod:`repro.serve`) that writes
-``serve_bench.json``.
+``serve_bench.json``.  ``parallel_bench`` backs
+``python -m repro.harness parallel-bench`` — the data-parallel training
+gates (:mod:`repro.parallel`) that write ``parallel_bench.json``.
 """
 
 from typing import Callable, Dict
@@ -24,6 +26,7 @@ from . import (
     horizon_report,
     figure9,
     figure10,
+    parallel_bench,
     profile,
     serve_bench,
     table4,

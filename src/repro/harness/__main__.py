@@ -8,6 +8,7 @@ Usage::
     python -m repro.harness bench --scope smoke --check
     python -m repro.harness chaos --fast --out results/
     python -m repro.harness serve-bench --fast --out results/
+    python -m repro.harness parallel-bench --fast --out results/
 
 ``profile <model> [<model> ...]`` runs a short instrumented training pass
 and prints the top-K op/module runtime table; the full breakdown lands in
@@ -32,7 +33,7 @@ import sys
 import time
 from pathlib import Path
 
-from . import EXPERIMENTS, RunSettings, bench, chaos, profile, serve_bench
+from . import EXPERIMENTS, RunSettings, bench, chaos, parallel_bench, profile, serve_bench
 
 
 def main(argv=None) -> int:
@@ -62,18 +63,30 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--fast",
         action="store_true",
-        help="chaos/serve-bench: shrink the run to the CI budget (fewer epochs/requests)",
+        help=(
+            "chaos/serve-bench/parallel-bench: shrink the run to the CI "
+            "budget (fewer epochs/requests/workers)"
+        ),
     )
     parser.add_argument(
         "--model",
         default="st-wa",
-        help="chaos/serve-bench: model to run against (default st-wa)",
+        help="chaos/serve-bench/parallel-bench: model to run against (default st-wa)",
     )
     parser.add_argument(
         "--slo-p95-ms",
         type=float,
         default=500.0,
         help="serve-bench only: p95 latency objective in ms (default 500)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.3,
+        help=(
+            "parallel-bench only: required wall-clock speedup at the best "
+            "worker count (enforced only on multi-core hosts; default 1.3)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -125,6 +138,23 @@ def main(argv=None) -> int:
         print(f"[serve-bench done in {elapsed:.1f}s]\n", flush=True)
         result.save(out_dir)
         return 0 if report["ok"] else 1
+
+    if args.experiments[0] == "parallel-bench":
+        if len(args.experiments) > 1:
+            parser.error("parallel-bench takes no experiment arguments")
+        start = time.perf_counter()
+        result, report = parallel_bench.run(
+            settings=settings,
+            out_dir=out_dir,
+            fast=args.fast,
+            model_name=args.model,
+            min_speedup=args.min_speedup,
+        )
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[parallel-bench done in {elapsed:.1f}s]\n", flush=True)
+        result.save(out_dir)
+        return 0 if report["all_passed"] else 1
 
     if args.experiments[0] == "profile":
         models = args.experiments[1:]

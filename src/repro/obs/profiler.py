@@ -65,6 +65,7 @@ class Profiler:
 
     ops: Dict[Tuple[str, str], OpStat] = field(default_factory=dict)
     spans: Dict[str, SpanStat] = field(default_factory=dict)
+    parallel: Dict[str, SpanStat] = field(default_factory=dict)  # per-worker timing
     started_at: float = field(default_factory=time.perf_counter)
     wall_seconds: float = 0.0
     grad_allocs: int = 0  # gradient buffers the engine allocated (copy/zero-fill)
@@ -98,6 +99,21 @@ class Profiler:
         span = self.spans.get(name)
         if span is None:
             span = self.spans[name] = SpanStat(name)
+        span.calls += 1
+        span.seconds += seconds
+
+    def record_parallel(self, name: str, seconds: float) -> None:
+        """Attribute wall time to one data-parallel actor.
+
+        ``name`` is a stable actor label (``worker0``, ``worker1``,
+        ``reduce``, ``serialize`` — see :class:`repro.training.Trainer`'s
+        parallel path).  Worker seconds are measured *inside* the worker
+        process, so they sum to more than the parent's wall time whenever
+        the pool actually overlaps — that surplus is the parallelism.
+        """
+        span = self.parallel.get(name)
+        if span is None:
+            span = self.parallel[name] = SpanStat(name)
         span.calls += 1
         span.seconds += seconds
 
@@ -142,6 +158,9 @@ class Profiler:
             "grad_alloc_bytes": self.grad_alloc_bytes,
             "ops": [asdict(stat) for stat in sorted(self.ops.values(), key=lambda s: s.seconds, reverse=True)],
             "spans": [asdict(span) for span in sorted(self.spans.values(), key=lambda s: s.seconds, reverse=True)],
+            "parallel": [
+                asdict(span) for span in sorted(self.parallel.values(), key=lambda s: s.name)
+            ],
         }
 
     def to_table(self, top_k: int = 10) -> str:
@@ -165,6 +184,12 @@ class Profiler:
             span_header = f"{'module':<44}{'calls':>8}{'seconds':>10}"
             lines += [span_header, "-" * len(span_header)]
             for span in self.top_spans(top_k):
+                lines.append(f"{span.name:<44}{span.calls:>8}{span.seconds:>10.4f}")
+        if self.parallel:
+            lines.append("")
+            parallel_header = f"{'parallel':<44}{'calls':>8}{'seconds':>10}"
+            lines += [parallel_header, "-" * len(parallel_header)]
+            for span in sorted(self.parallel.values(), key=lambda s: s.name):
                 lines.append(f"{span.name:<44}{span.calls:>8}{span.seconds:>10.4f}")
         return "\n".join(lines)
 

@@ -1,5 +1,6 @@
-"""Optimizers, gradient clipping, LR schedules, early stopping."""
+"""Optimizers, gradient clipping, all-reduce, LR schedules, early stopping."""
 
+from .allreduce import all_reduce_gradients, tree_reduce
 from .optimizers import SGD, Adam, Optimizer, clip_grad_norm
 from .schedulers import ConstantLR, CosineAnnealingLR, EarlyStopping, LRScheduler, StepLR
 
@@ -8,6 +9,8 @@ __all__ = [
     "SGD",
     "Adam",
     "clip_grad_norm",
+    "tree_reduce",
+    "all_reduce_gradients",
     "LRScheduler",
     "ConstantLR",
     "StepLR",

@@ -1,0 +1,83 @@
+"""Gradient reduction for data-parallel training (:mod:`repro.parallel`).
+
+Each worker computes gradients on its shard of a mini-batch; before the
+parent takes a single optimizer step those shard gradients must be combined
+into exactly the gradient serial training would have produced.
+
+The math: the serial loss is a *weighted* mean of the shard losses,
+
+    L = sum_i (c_i / C) * L_i        with C = sum_i c_i,
+
+where ``c_i`` counts the elements shard ``i``'s loss averaged over (all
+target elements for the plain Huber objective, only the finite ones for the
+masked variant — which is why workers report their own weights instead of
+the parent assuming sample counts).  Gradients combine with the same
+weights; any loss term shared by every shard (the KL regularizer) has
+weights summing to 1 and passes through unchanged.
+
+Reduction is *pairwise* (:func:`tree_reduce`): combining N shards costs
+``ceil(log2 N)`` rounds instead of a serial left fold, and — more
+importantly for reproducibility — the combination order is a deterministic
+function of N alone, never of worker completion order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+T = TypeVar("T")
+
+__all__ = ["tree_reduce", "all_reduce_gradients"]
+
+
+def tree_reduce(values: Sequence[T], combine: Callable[[T, T], T]) -> T:
+    """Reduce ``values`` pairwise: ((v0+v1) + (v2+v3)) + ...
+
+    Deterministic for a given length — the shape of the reduction tree
+    depends only on ``len(values)`` — so repeated runs combine shard
+    gradients in the same floating-point order.
+    """
+    items: List[T] = list(values)
+    if not items:
+        raise ValueError("tree_reduce needs at least one value")
+    while len(items) > 1:
+        paired = [combine(items[i], items[i + 1]) for i in range(0, len(items) - 1, 2)]
+        if len(items) % 2:
+            paired.append(items[-1])
+        items = paired
+    return items[0]
+
+
+def all_reduce_gradients(
+    parameters: Sequence[Parameter],
+    shard_grads: Sequence[Sequence[Optional[np.ndarray]]],
+    shard_weights: Sequence[float],
+) -> float:
+    """Combine per-shard gradients into ``parameter.grad``, weighted.
+
+    ``shard_grads[i][j]`` is worker ``i``'s gradient for ``parameters[j]``
+    (or ``None`` when that parameter got no gradient on the shard);
+    ``shard_weights[i]`` is the shard's loss weight ``c_i``.  Writes the
+    weighted tree-reduced gradient into each parameter — replacing, not
+    accumulating, exactly like a fresh ``backward()`` after ``zero_grad``.
+    Returns the total weight ``C`` (callers reuse it to combine losses).
+    """
+    if len(shard_grads) != len(shard_weights):
+        raise ValueError(
+            f"got {len(shard_grads)} gradient shards but {len(shard_weights)} weights"
+        )
+    total = float(np.sum(shard_weights))
+    if not np.isfinite(total) or total <= 0:
+        raise ValueError(f"shard weights must sum to a positive finite value, got {total}")
+    for j, parameter in enumerate(parameters):
+        scaled = [
+            (weight / total) * grads[j]
+            for grads, weight in zip(shard_grads, shard_weights)
+            if grads[j] is not None
+        ]
+        parameter.grad = tree_reduce(scaled, np.add) if scaled else None
+    return total

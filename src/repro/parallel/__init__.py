@@ -1,0 +1,40 @@
+"""Multiprocess data-parallel training (see DESIGN.md "Parallel training").
+
+Two cooperating pieces:
+
+* :class:`WorkerPool` (:mod:`repro.parallel.engine`) — N worker processes
+  that each run forward/backward on a shard of every mini-batch; the parent
+  tree-reduces their gradients (:func:`repro.optim.all_reduce_gradients`)
+  and takes a single optimizer step.  Weights travel through the schema-v2
+  checkpoint codec; failures translate back into the exception types the
+  resilience layer already handles.
+* :class:`PrefetchingBatchIterator` (:mod:`repro.parallel.prefetch`) — a
+  background assembler writing sliding-window batches into double-buffered
+  shared memory so batch assembly overlaps compute.
+
+The front door is :class:`repro.training.Trainer` with
+``TrainerConfig(n_workers=...)``; this package is the engine room.  The
+equivalence contract — parallel training reproduces the serial loss
+trajectory for deterministic models at any worker count — is enforced by
+``tests/test_parallel.py`` and ``python -m repro.harness parallel-bench``.
+"""
+
+from .engine import (
+    ParallelConfig,
+    ShardResult,
+    WorkerError,
+    WorkerPool,
+    default_start_method,
+    shard_batch,
+)
+from .prefetch import PrefetchingBatchIterator
+
+__all__ = [
+    "ParallelConfig",
+    "ShardResult",
+    "WorkerError",
+    "WorkerPool",
+    "default_start_method",
+    "shard_batch",
+    "PrefetchingBatchIterator",
+]

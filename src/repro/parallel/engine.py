@@ -1,0 +1,309 @@
+"""Multiprocess data-parallel training engine.
+
+One :class:`WorkerPool` owns N long-lived worker processes.  Every training
+step the parent
+
+1. serializes the current weights once with the schema-v2 checkpoint codec
+   (:func:`repro.training.dumps_state_dict` — fork/spawn-safe, no pickled
+   code objects on the weight path),
+2. splits the mini-batch into per-worker shards (:func:`shard_batch`),
+3. sends ``(weights, shard)`` to every worker over its pipe,
+4. collects ``(loss, weight, grads, seconds)`` per shard and
+5. tree-reduces the shard gradients into the parent model's parameters
+   (:func:`repro.optim.all_reduce_gradients`) so a single optimizer step
+   applies exactly the gradient serial training would have produced.
+
+The worker never sees the optimizer: it is a pure
+``weights, shard -> loss, gradients`` function, which keeps every piece of
+mutable training state (Adam moments, early stopping, RNG streams,
+checkpoints, recovery rollback) in the parent where the existing
+resilience machinery already manages it.
+
+Model transport: the model object crosses the process boundary once, at
+pool start-up, via pickle (module classes are importable from both fork and
+spawn children); its weights are refreshed every step through the codec.
+Worker copies re-seed every RNG stream they hold through
+:func:`repro.tensor.rng.reseed_module_generators` so no two workers draw
+identical noise (see DESIGN.md "Parallel training" for the determinism
+contract).
+
+Failure translation: a ``FloatingPointError`` raised inside a worker (NaN
+loss, :func:`repro.tensor.detect_anomaly` hit) is re-raised in the parent
+as a ``FloatingPointError`` carrying the worker's message, so
+:class:`repro.resilience.RecoveryPolicy` rollback/retry works unchanged at
+any worker count.  Any other worker failure — including a dead process —
+surfaces as :class:`WorkerError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ParallelConfig",
+    "ShardResult",
+    "WorkerError",
+    "WorkerPool",
+    "default_start_method",
+    "shard_batch",
+]
+
+
+class WorkerError(RuntimeError):
+    """A data-parallel worker failed for a non-numerical reason (or died)."""
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (cheap, zero-copy inherited
+    dataset arrays), ``spawn`` otherwise (macOS/Windows default)."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the data-parallel engine.
+
+    ``step_timeout`` bounds how long the parent waits for any single worker
+    reply before declaring the pool wedged; generous by default because CI
+    machines stall unpredictably under load.
+    """
+
+    n_workers: int = 2
+    start_method: Optional[str] = None  # None -> default_start_method()
+    detect_anomaly: bool = False
+    seed: int = 0
+    step_timeout: float = 300.0
+
+    def __post_init__(self):
+        if self.n_workers < 2:
+            raise ValueError(f"a worker pool needs n_workers >= 2, got {self.n_workers}")
+
+
+@dataclass
+class ShardResult:
+    """What one worker reports back for one training step."""
+
+    worker_id: int
+    loss: float
+    weight: float  # loss-mean element count c_i (see repro.optim.allreduce)
+    grads: List[Optional[np.ndarray]] = field(repr=False, default_factory=list)
+    seconds: float = 0.0  # worker-side forward+backward wall time
+
+
+def shard_batch(
+    x: np.ndarray, y: np.ndarray, n_shards: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split a batch along axis 0 into up to ``n_shards`` contiguous shards.
+
+    Contiguous ``np.array_split`` sharding preserves the serial sample
+    order: concatenating the shards reproduces the batch exactly, which is
+    what makes the parallel loss a weighted mean of shard losses.  Batches
+    smaller than ``n_shards`` produce fewer (never empty) shards.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"x and y disagree on batch size: {len(x)} vs {len(y)}")
+    pieces = min(n_shards, len(x))
+    if pieces < 1:
+        raise ValueError("cannot shard an empty batch")
+    return [
+        (xs, ys)
+        for xs, ys in zip(np.array_split(x, pieces), np.array_split(y, pieces))
+        if len(xs)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+def _worker_main(conn, init_blob: bytes) -> None:
+    """Run one worker: receive steps over ``conn`` until told to stop.
+
+    ``init_blob`` pickles a dict with the model, loss settings, the
+    worker's id and the base seed — everything is imported lazily here so a
+    spawn child only pays for what it uses.
+    """
+    from ..core.loss import STWALoss
+    from ..tensor import detect_anomaly, ops as tensor_ops, rng as rng_module
+    from ..tensor import tensor as tensor_core
+    from ..training import checkpoint as checkpoint_module
+
+    # a forked child inherits whatever observability hooks the parent had
+    # installed at pool start-up; they would record into a dead copy
+    tensor_ops.set_op_trace(None)
+    tensor_ops.set_anomaly_check(None)
+    tensor_core.set_grad_alloc_hook(None)
+
+    init = pickle.loads(init_blob)
+    model = init["model"]
+    worker_id = int(init["worker_id"])
+    rng_module.reseed_module_generators(model, int(init["seed"]), worker_id)
+    model.train()
+    parameters = model.parameters()
+    loss_fn = STWALoss(delta=init["huber_delta"], kl_weight=init["kl_weight"])
+    kl_model = model if hasattr(model, "kl_divergence") else None
+    screen = bool(init["detect_anomaly"])
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if message[0] == "stop":
+            break
+        try:
+            _, weights_blob, x_shard, y_shard = message
+            start = time.perf_counter()
+            if weights_blob is not None:
+                model.load_state_dict(checkpoint_module.loads_state_dict(weights_blob))
+            for parameter in parameters:
+                parameter.zero_grad()
+            guard = detect_anomaly() if screen else nullcontext()
+            with guard:
+                prediction = model(tensor_core.Tensor(x_shard))
+                loss = loss_fn(prediction, tensor_core.Tensor(y_shard), model=kl_model)
+                value = float(loss.item())
+                # mirror the serial trainer: a non-finite loss is reported,
+                # not backpropagated — the parent raises the same error
+                if np.isfinite(value):
+                    loss.backward()
+            grads = [None if p.grad is None else p.grad for p in parameters]
+            weight = float(np.isfinite(y_shard).sum())
+            conn.send(
+                ("ok", value, weight, grads, time.perf_counter() - start)
+            )
+        except FloatingPointError as error:
+            conn.send(("raise", "float", f"{type(error).__name__}: {error}"))
+        except Exception as error:  # noqa: BLE001 - full report crosses the pipe
+            conn.send(("raise", "error", f"{type(error).__name__}: {error}"))
+
+
+# --------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------- #
+class WorkerPool:
+    """N persistent training workers connected by pipes.
+
+    Usable as a context manager; :meth:`close` is idempotent and always
+    safe to call (it terminates stragglers rather than hang).
+    """
+
+    def __init__(self, model, config: ParallelConfig, *, huber_delta: float, kl_weight: float):
+        self.config = config
+        self.n_workers = config.n_workers
+        method = config.start_method or default_start_method()
+        context = mp.get_context(method)
+        self.start_method = method
+        self._workers = []
+        self._conns = []
+        for worker_id in range(config.n_workers):
+            init_blob = pickle.dumps(
+                {
+                    "model": model,
+                    "worker_id": worker_id,
+                    "seed": config.seed,
+                    "huber_delta": huber_delta,
+                    "kl_weight": kl_weight,
+                    "detect_anomaly": config.detect_anomaly,
+                }
+            )
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, init_blob),
+                name=f"repro-parallel-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(process)
+            self._conns.append(parent_conn)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def train_step(
+        self, weights_blob: Optional[bytes], shards: Sequence[Tuple[np.ndarray, np.ndarray]]
+    ) -> List[ShardResult]:
+        """Run one data-parallel step; returns one result per shard.
+
+        Shards are dealt to workers in order; with fewer shards than
+        workers (a tail batch smaller than the pool) the idle workers
+        simply skip the step.  Raises ``FloatingPointError`` if any worker
+        hit one (after draining every reply, so the pipes stay in sync for
+        the retry the recovery policy will schedule).
+        """
+        if self._closed:
+            raise WorkerError("worker pool is closed")
+        if not shards:
+            raise ValueError("train_step needs at least one shard")
+        if len(shards) > self.n_workers:
+            raise ValueError(f"{len(shards)} shards exceed pool size {self.n_workers}")
+        for conn, (x_shard, y_shard) in zip(self._conns, shards):
+            conn.send(("step", weights_blob, x_shard, y_shard))
+        results: List[ShardResult] = []
+        numerical_failure: Optional[str] = None
+        worker_failure: Optional[str] = None
+        for worker_id in range(len(shards)):
+            reply = self._receive(worker_id)
+            if reply[0] == "ok":
+                _, value, weight, grads, seconds = reply
+                results.append(ShardResult(worker_id, value, weight, grads, seconds))
+            elif reply[1] == "float":
+                numerical_failure = f"worker {worker_id}: {reply[2]}"
+            else:
+                worker_failure = f"worker {worker_id}: {reply[2]}"
+        if worker_failure is not None:
+            raise WorkerError(worker_failure)
+        if numerical_failure is not None:
+            raise FloatingPointError(numerical_failure)
+        return results
+
+    def _receive(self, worker_id: int):
+        conn = self._conns[worker_id]
+        if not conn.poll(self.config.step_timeout):
+            self.close()
+            raise WorkerError(
+                f"worker {worker_id} sent no reply within {self.config.step_timeout:.0f}s"
+            )
+        try:
+            return conn.recv()
+        except EOFError as error:
+            self.close()
+            raise WorkerError(f"worker {worker_id} died mid-step") from error
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop every worker; terminate any that ignore the request."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort: never leak processes
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter may be tearing down
+            pass

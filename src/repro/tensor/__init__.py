@@ -11,7 +11,7 @@ Public surface:
   test suite.
 """
 
-from . import functional, gradcheck, ops
+from . import functional, gradcheck, ops, rng
 from .anomaly import (
     AnomalyDetector,
     NumericalAnomalyError,
@@ -27,6 +27,7 @@ from .functional import (
     reparameterize,
     scaled_dot_product_attention,
 )
+from .rng import reseed_module_generators, spawn_streams, worker_seed_sequence
 from .tensor import (
     Tensor,
     as_tensor,
@@ -54,6 +55,10 @@ __all__ = [
     "ops",
     "functional",
     "gradcheck",
+    "rng",
+    "spawn_streams",
+    "worker_seed_sequence",
+    "reseed_module_generators",
     "huber_loss",
     "masked_huber_loss",
     "mse_loss",

@@ -5,10 +5,12 @@ from .checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointError,
     TrainingCheckpoint,
+    dumps_state_dict,
     latest_checkpoint,
     list_checkpoints,
     load_checkpoint,
     load_training_checkpoint,
+    loads_state_dict,
     prune_checkpoints,
     save_checkpoint,
     save_state_dict,
@@ -30,6 +32,8 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "save_state_dict",
+    "dumps_state_dict",
+    "loads_state_dict",
     "save_training_checkpoint",
     "load_training_checkpoint",
     "TrainingCheckpoint",

@@ -20,6 +20,7 @@ with the Trainer's ``keep_best`` copy of the best-validation weights.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import zipfile
@@ -71,10 +72,15 @@ def _normalize(path: PathLike) -> Path:
     return path
 
 
-def write_archive(path: PathLike, arrays: Dict[str, np.ndarray], metadata: Optional[Dict] = None) -> Path:
-    """Atomically write arrays + JSON metadata to an ``.npz`` at ``path``."""
-    path = _normalize(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+def encode_archive(
+    arrays: Dict[str, np.ndarray], metadata: Optional[Dict] = None, compress: bool = True
+) -> bytes:
+    """Serialize arrays + JSON metadata to ``.npz`` bytes (the codec core).
+
+    ``compress=False`` skips zlib — the right choice for transient wire
+    transfer (:mod:`repro.parallel` ships weights to workers every step)
+    where serialization latency matters more than size.
+    """
     payload = dict(arrays)
     blob = json.dumps(metadata or {}, default=_json_default).encode("utf-8")
     # zero-length frombuffer is fragile across numpy versions; store an
@@ -82,9 +88,57 @@ def write_archive(path: PathLike, arrays: Dict[str, np.ndarray], metadata: Optio
     payload["__metadata__"] = (
         np.frombuffer(blob, dtype=np.uint8) if blob else np.zeros(0, dtype=np.uint8)
     )
+    buffer = io.BytesIO()
+    (np.savez_compressed if compress else np.savez)(buffer, **payload)
+    return buffer.getvalue()
+
+
+def decode_archive(data: bytes, label: str = "<bytes>") -> tuple:
+    """Inverse of :func:`encode_archive`; returns ``(arrays, metadata)``.
+
+    Raises :class:`CheckpointError` (naming ``label``) on truncated or
+    foreign payloads, mirroring :func:`read_archive`.
+    """
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            raw = (
+                archive["__metadata__"] if "__metadata__" in archive.files else np.zeros(0, np.uint8)
+            )
+            metadata = json.loads(raw.tobytes().decode("utf-8")) if raw.size else {}
+            arrays = {name: archive[name] for name in archive.files if name != "__metadata__"}
+    except (zipfile.BadZipFile, ValueError, OSError, KeyError, EOFError) as error:
+        raise CheckpointError(
+            f"checkpoint {label} is corrupt or not a repro archive "
+            f"({type(error).__name__}: {error})"
+        ) from error
+    except UnicodeDecodeError as error:
+        raise CheckpointError(f"checkpoint {label} carries undecodable metadata") from error
+    return arrays, metadata
+
+
+def dumps_state_dict(state: Dict[str, np.ndarray], metadata: Optional[Dict] = None) -> bytes:
+    """Encode a ``name -> array`` state dict to uncompressed codec bytes.
+
+    The wire format :mod:`repro.parallel` uses for fork/spawn-safe weight
+    transfer; round-trips through :func:`loads_state_dict`.
+    """
+    return encode_archive(state, metadata, compress=False)
+
+
+def loads_state_dict(data: bytes) -> Dict[str, np.ndarray]:
+    """Decode codec bytes produced by :func:`dumps_state_dict`."""
+    arrays, _ = decode_archive(data, label="<state-dict bytes>")
+    return arrays
+
+
+def write_archive(path: PathLike, arrays: Dict[str, np.ndarray], metadata: Optional[Dict] = None) -> Path:
+    """Atomically write arrays + JSON metadata to an ``.npz`` at ``path``."""
+    path = _normalize(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = encode_archive(arrays, metadata, compress=True)
     tmp = path.with_suffix(".tmp")
     with open(tmp, "wb") as handle:
-        np.savez_compressed(handle, **payload)
+        handle.write(data)
     os.replace(tmp, path)
     return path
 
@@ -100,22 +154,10 @@ def read_archive(path: PathLike) -> tuple:
     if not path.exists():
         raise CheckpointError(f"checkpoint {path} does not exist")
     try:
-        with np.load(path, allow_pickle=False) as archive:
-            raw = (
-                archive["__metadata__"] if "__metadata__" in archive.files else np.zeros(0, np.uint8)
-            )
-            metadata = json.loads(raw.tobytes().decode("utf-8")) if raw.size else {}
-            arrays = {name: archive[name] for name in archive.files if name != "__metadata__"}
-    except CheckpointError:
-        raise
-    except (zipfile.BadZipFile, ValueError, OSError, KeyError, EOFError) as error:
-        raise CheckpointError(
-            f"checkpoint {path} is corrupt or not a repro archive "
-            f"({type(error).__name__}: {error})"
-        ) from error
-    except UnicodeDecodeError as error:
-        raise CheckpointError(f"checkpoint {path} carries undecodable metadata") from error
-    return arrays, metadata
+        data = path.read_bytes()
+    except OSError as error:
+        raise CheckpointError(f"checkpoint {path} is unreadable ({error})") from error
+    return decode_archive(data, label=str(path))
 
 
 # --------------------------------------------------------------------- #

@@ -29,6 +29,17 @@ to disk, so:
   boundary, backs the learning rate off, and retries — bounded by
   ``max_retries`` consecutive failures.
 
+Data parallelism (see DESIGN.md "Parallel training"): with
+``TrainerConfig(n_workers=N)`` for N >= 2, every mini-batch is sharded
+across N worker processes (:mod:`repro.parallel`); the parent tree-reduces
+the shard gradients and takes one optimizer step, so optimizer state,
+checkpoints, recovery, and RNG streams all stay in-process and the features
+above compose with parallelism unchanged.  Batches are assembled in a
+background prefetch process (double-buffered shared memory) unless
+``prefetch=False``.  For models that draw no randomness in the training
+forward pass the parallel loss trajectory matches serial training to
+float64 reduction accuracy at any worker count.
+
 Scaling convention: models operate in z-scored space; the loss compares
 against scaled targets while reported metrics are computed in raw units via
 the dataset's scaler.  Targets containing NaN (dead sensors) are handled by
@@ -51,7 +62,7 @@ from ..data.datasets import TrafficDataset
 from ..data.windows import BatchIterator, SlidingWindowDataset, WindowSpec
 from ..nn import Module
 from ..obs import MetricsSink, NullSink, SafeSink
-from ..optim import Adam, EarlyStopping, clip_grad_norm
+from ..optim import Adam, EarlyStopping, all_reduce_gradients, clip_grad_norm
 from ..resilience.recovery import LossExplosionError, RecoveryPolicy
 from ..tensor import NumericalAnomalyError, Tensor, detect_anomaly, no_grad
 from . import checkpoint as checkpoint_module
@@ -85,6 +96,10 @@ class TrainerConfig:
     detect_anomaly: bool = False  # per-op NaN/Inf screening (slow; debugging)
     recovery: Optional[RecoveryPolicy] = None  # rollback/retry on divergence
     batch_hook: Optional[object] = None  # fault injection (resilience.faults)
+    # --- data parallelism (repro.parallel; see DESIGN.md) --------------- #
+    n_workers: int = 0  # >= 2 shards every batch across worker processes
+    parallel_start_method: Optional[str] = None  # fork | spawn | None (auto)
+    prefetch: bool = True  # assemble batches in a background process (parallel only)
 
 
 @dataclass
@@ -153,6 +168,7 @@ class Trainer:
         self.optimizer = Adam(parameters, lr=self.config.lr) if parameters else None
         self._rng = np.random.default_rng(self.config.seed)
         self._recent_losses: deque = deque(maxlen=25)
+        self._pool = None  # lazy repro.parallel.WorkerPool (n_workers >= 2)
         self._windows = {
             "train": SlidingWindowDataset(dataset.train, spec, raw=dataset.train_raw),
             "val": SlidingWindowDataset(dataset.val, spec, raw=dataset.val_raw),
@@ -177,13 +193,7 @@ class Trainer:
         start_epoch = 0
         if resume_from is not None:
             best_state, start_epoch = self._restore_checkpoint(resume_from, history, stopper)
-        iterator = BatchIterator(
-            self._windows["train"],
-            batch_size=cfg.batch_size,
-            shuffle=True,
-            rng=self._rng,
-            max_batches=cfg.max_batches_per_epoch,
-        )
+        iterator = self._train_iterator()
         if self._observed:
             self.sink.emit(
                 {
@@ -195,6 +205,7 @@ class Trainer:
                     "lr": cfg.lr,
                     "seed": cfg.seed,
                     "start_epoch": start_epoch,
+                    "n_workers": cfg.n_workers,
                     "time": time.time(),
                 }
             )
@@ -204,48 +215,51 @@ class Trainer:
         # in-memory rollback point: the state at the last good epoch boundary
         snapshot = self._capture_state(history, stopper, best_state, start_epoch - 1)
         epoch = start_epoch
-        while epoch < cfg.epochs:
-            try:
-                val_mae, should_stop = self._run_epoch(epoch, iterator, history, stopper)
-            except FloatingPointError as error:
-                if policy is None or attempts >= policy.max_retries:
-                    raise
-                attempts += 1
-                lr_before = self.optimizer.lr
-                best_state = self._restore_state(snapshot, history, stopper)
-                self.optimizer.lr = policy.backed_off_lr(lr_before)
-                self._recent_losses.clear()
-                history.recoveries += 1
-                if self._observed:
-                    self.sink.emit(
-                        {
-                            "event": "recovery",
-                            "epoch": epoch,
-                            "attempt": attempts,
-                            "error": type(error).__name__,
-                            "message": str(error).splitlines()[0],
-                            "rollback_epoch": snapshot["epoch"],
-                            "lr": self.optimizer.lr,
-                            "time": time.time(),
-                        }
-                    )
-                if cfg.verbose:
-                    print(
-                        f"recovery: {type(error).__name__} at epoch {epoch}; "
-                        f"rolled back to epoch {snapshot['epoch']}, lr -> "
-                        f"{self.optimizer.lr:.2e} (attempt {attempts}/{policy.max_retries})"
-                    )
-                continue
-            attempts = 0  # a clean epoch resets the retry budget
-            if stopper.improved_last_update:
-                best_state = self.model.state_dict()
-            if cfg.checkpoint_dir is not None and (epoch + 1) % max(1, cfg.checkpoint_every) == 0:
-                self._save_checkpoint(epoch, history, stopper, best_state, val_mae)
-            snapshot = self._capture_state(history, stopper, best_state, epoch)
-            if should_stop:
-                history.stopped_early = True
-                break
-            epoch += 1
+        try:
+            while epoch < cfg.epochs:
+                try:
+                    val_mae, should_stop = self._run_epoch(epoch, iterator, history, stopper)
+                except FloatingPointError as error:
+                    if policy is None or attempts >= policy.max_retries:
+                        raise
+                    attempts += 1
+                    lr_before = self.optimizer.lr
+                    best_state = self._restore_state(snapshot, history, stopper)
+                    self.optimizer.lr = policy.backed_off_lr(lr_before)
+                    self._recent_losses.clear()
+                    history.recoveries += 1
+                    if self._observed:
+                        self.sink.emit(
+                            {
+                                "event": "recovery",
+                                "epoch": epoch,
+                                "attempt": attempts,
+                                "error": type(error).__name__,
+                                "message": str(error).splitlines()[0],
+                                "rollback_epoch": snapshot["epoch"],
+                                "lr": self.optimizer.lr,
+                                "time": time.time(),
+                            }
+                        )
+                    if cfg.verbose:
+                        print(
+                            f"recovery: {type(error).__name__} at epoch {epoch}; "
+                            f"rolled back to epoch {snapshot['epoch']}, lr -> "
+                            f"{self.optimizer.lr:.2e} (attempt {attempts}/{policy.max_retries})"
+                        )
+                    continue
+                attempts = 0  # a clean epoch resets the retry budget
+                if stopper.improved_last_update:
+                    best_state = self.model.state_dict()
+                if cfg.checkpoint_dir is not None and (epoch + 1) % max(1, cfg.checkpoint_every) == 0:
+                    self._save_checkpoint(epoch, history, stopper, best_state, val_mae)
+                snapshot = self._capture_state(history, stopper, best_state, epoch)
+                if should_stop:
+                    history.stopped_early = True
+                    break
+                epoch += 1
+        finally:
+            self._close_pool()
         history.best_epoch = stopper.best_epoch
         self.model.load_state_dict(best_state)
         if self._observed:
@@ -329,6 +343,15 @@ class Trainer:
     def _train_step(self, x_batch: np.ndarray, y_raw: np.ndarray, epoch: int, batch_index: int) -> tuple:
         """One optimizer step; returns ``(loss, pre-clip grad norm)``."""
         cfg = self.config
+        if cfg.n_workers >= 2:
+            value = self._parallel_forward_backward(x_batch, y_raw)
+        else:
+            value = self._serial_forward_backward(x_batch, y_raw)
+        return value, self._apply_gradients(epoch, batch_index)
+
+    def _serial_forward_backward(self, x_batch: np.ndarray, y_raw: np.ndarray) -> float:
+        """In-process forward/backward; leaves gradients on the parameters."""
+        cfg = self.config
         scaled_target = Tensor(self.dataset.scaler.transform(y_raw))
         self.optimizer.zero_grad()
         guard = detect_anomaly() if cfg.detect_anomaly else nullcontext()
@@ -342,6 +365,55 @@ class Trainer:
                     "rate or tighten grad_clip"
                 )
             loss.backward()
+        return value
+
+    def _parallel_forward_backward(self, x_batch: np.ndarray, y_raw: np.ndarray) -> float:
+        """Sharded forward/backward on the worker pool (repro.parallel).
+
+        Ships the current weights through the checkpoint codec, scatters
+        the batch, and tree-reduces the shard gradients into the parent's
+        parameters so the subsequent clip/step path is identical to serial
+        training.  The combined loss is the shard-weight-weighted mean —
+        exactly the value the serial loss would have produced (see
+        :mod:`repro.optim.allreduce` for the math).
+        """
+        from ..obs import current_profiler
+        from ..parallel import shard_batch
+
+        pool = self._ensure_pool()
+        scaled_target = self.dataset.scaler.transform(y_raw)
+        self.optimizer.zero_grad()
+        serialize_start = time.perf_counter()
+        weights_blob = checkpoint_module.dumps_state_dict(self.model.state_dict())
+        serialize_seconds = time.perf_counter() - serialize_start
+        shards = shard_batch(x_batch, scaled_target, pool.n_workers)
+        results = pool.train_step(weights_blob, shards)
+        reduce_start = time.perf_counter()
+        total = all_reduce_gradients(
+            self.optimizer.parameters,
+            [result.grads for result in results],
+            [result.weight for result in results],
+        )
+        value = float(
+            np.sum([result.weight * result.loss for result in results]) / total
+        )
+        reduce_seconds = time.perf_counter() - reduce_start
+        profiler = current_profiler()
+        if profiler is not None:
+            profiler.record_parallel("serialize", serialize_seconds)
+            profiler.record_parallel("reduce", reduce_seconds)
+            for result in results:
+                profiler.record_parallel(f"worker{result.worker_id}", result.seconds)
+        if not np.isfinite(value):
+            raise FloatingPointError(
+                f"training diverged: loss became {value}; lower the learning "
+                "rate or tighten grad_clip"
+            )
+        return value
+
+    def _apply_gradients(self, epoch: int, batch_index: int) -> float:
+        """Fault hooks, clipping, non-finite guard, optimizer step."""
+        cfg = self.config
         hook = cfg.batch_hook
         if hook is not None:
             after_backward = getattr(hook, "after_backward", None)
@@ -360,7 +432,56 @@ class Trainer:
             after_batch = getattr(hook, "after_batch", None)
             if after_batch is not None:
                 after_batch(self, epoch, batch_index)
-        return value, grad_norm
+        return grad_norm
+
+    # ------------------------------------------------------------------ #
+    # data parallelism: pool and iterator plumbing (repro.parallel)
+    # ------------------------------------------------------------------ #
+    def _train_iterator(self):
+        """The training-batch source; prefetched when running parallel."""
+        cfg = self.config
+        if cfg.n_workers >= 2 and cfg.prefetch:
+            from ..parallel import PrefetchingBatchIterator
+
+            return PrefetchingBatchIterator(
+                self._windows["train"],
+                batch_size=cfg.batch_size,
+                shuffle=True,
+                rng=self._rng,
+                max_batches=cfg.max_batches_per_epoch,
+                start_method=cfg.parallel_start_method,
+            )
+        return BatchIterator(
+            self._windows["train"],
+            batch_size=cfg.batch_size,
+            shuffle=True,
+            rng=self._rng,
+            max_batches=cfg.max_batches_per_epoch,
+        )
+
+    def _ensure_pool(self):
+        """Start the worker pool on first use (model pickled exactly once)."""
+        if self._pool is None:
+            from ..parallel import ParallelConfig, WorkerPool
+
+            cfg = self.config
+            self._pool = WorkerPool(
+                self.model,
+                ParallelConfig(
+                    n_workers=cfg.n_workers,
+                    start_method=cfg.parallel_start_method,
+                    detect_anomaly=cfg.detect_anomaly,
+                    seed=cfg.seed,
+                ),
+                huber_delta=cfg.huber_delta,
+                kl_weight=cfg.kl_weight,
+            )
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     # ------------------------------------------------------------------ #
     # resilience: state capture / restore / persistence

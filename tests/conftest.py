@@ -1,4 +1,20 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Besides the dataset fixtures, this file enforces two suite-wide
+invariants (see DESIGN.md, "Testing strategy"):
+
+* **Global-state isolation** — the tensor substrate keeps a small amount
+  of process-global state (op-trace hook, anomaly check, grad-alloc hook,
+  grad/inference mode flags, the active profiler).  An autouse fixture
+  asserts every test leaves all of it at the documented clean defaults and
+  restores them, so a leak fails the *offending* test instead of poisoning
+  whichever test happens to run next.  The legacy ``np.random`` global
+  state is snapshotted and restored for the same reason.
+* **Per-test time budget** — any single test call longer than
+  ``--max-test-seconds`` (default 60) fails the session, keeping the
+  tier-1 suite honest about wall time.  Genuinely long scenarios belong
+  behind the ``slow`` marker so ``pytest -m "not slow"`` stays fast.
+"""
 
 from __future__ import annotations
 
@@ -36,3 +52,102 @@ def tiny_dataset() -> TrafficDataset:
         scaler=scaler,
         network=simulator.network,
     )
+
+
+# --------------------------------------------------------------------- #
+# global-state isolation guard
+# --------------------------------------------------------------------- #
+def _global_state_leaks() -> list:
+    """Deviations from the documented clean defaults, as readable labels."""
+    from repro.obs import profiler as profiler_module
+    from repro.tensor import ops as tensor_ops
+    from repro.tensor import tensor as tensor_core
+
+    leaks = []
+    if tensor_ops._trace_hook is not None:
+        leaks.append("op-trace hook still installed (set_op_trace)")
+    if tensor_ops._anomaly_check is not None:
+        leaks.append("anomaly check still installed (set_anomaly_check)")
+    if tensor_core._grad_alloc_hook is not None:
+        leaks.append("grad-alloc hook still installed (set_grad_alloc_hook)")
+    if tensor_core._grad_enabled is not True:
+        leaks.append("gradients left disabled (no_grad not unwound)")
+    if tensor_core._inference_mode is not False:
+        leaks.append("inference_mode left active")
+    if profiler_module._active is not None:
+        leaks.append("a profiler is still active (profile() not unwound)")
+    return leaks
+
+
+def _reset_global_state() -> None:
+    from repro.obs import profiler as profiler_module
+    from repro.tensor import ops as tensor_ops
+    from repro.tensor import tensor as tensor_core
+
+    tensor_ops.set_op_trace(None)
+    tensor_ops.set_anomaly_check(None)
+    tensor_core.set_grad_alloc_hook(None)
+    tensor_core._grad_enabled = True
+    tensor_core._inference_mode = False
+    profiler_module._active = None
+
+
+@pytest.fixture(autouse=True)
+def _global_state_guard():
+    """Fail any test that leaks tensor/profiler global state; then restore."""
+    pre_existing = _global_state_leaks()
+    if pre_existing:  # never blame this test for an earlier escape
+        _reset_global_state()
+    legacy_rng_state = np.random.get_state()
+    yield
+    leaks = _global_state_leaks()
+    _reset_global_state()
+    np.random.set_state(legacy_rng_state)
+    assert not leaks, (
+        "test leaked process-global state: " + "; ".join(leaks)
+    )
+
+
+# --------------------------------------------------------------------- #
+# per-test time budget
+# --------------------------------------------------------------------- #
+def pytest_addoption(parser):
+    parser.addoption(
+        "--max-test-seconds",
+        type=float,
+        default=60.0,
+        help="fail the run if any single test call exceeds this many seconds",
+    )
+
+
+def pytest_configure(config):
+    config._overtime_tests = []
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call":
+        budget = item.config.getoption("--max-test-seconds")
+        if budget and report.duration > budget:
+            item.config._overtime_tests.append((report.nodeid, report.duration))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    overtime = getattr(session.config, "_overtime_tests", [])
+    if overtime and session.exitstatus == 0:
+        session.exitstatus = 1
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    overtime = getattr(config, "_overtime_tests", [])
+    if overtime:
+        budget = config.getoption("--max-test-seconds")
+        terminalreporter.write_sep("=", f"tests over the {budget:.0f}s budget", red=True)
+        for nodeid, duration in sorted(overtime, key=lambda item: -item[1]):
+            terminalreporter.write_line(f"{duration:7.1f}s  {nodeid}")
+        terminalreporter.write_line(
+            "mark genuinely long scenarios with @pytest.mark.slow and keep "
+            "them under the budget, or split them"
+        )

@@ -1,0 +1,88 @@
+"""Golden forecast regression: frozen eval-mode outputs must not drift.
+
+The fixtures in ``tests/golden/*.npz`` pin the forecasts of ST-WA and two
+baselines on a fixed dataset, batch, and seed.  A failure here means some
+change moved the numbers — if that was intentional, regenerate with::
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+and commit the updated fixtures alongside the change.  The build recipes
+are imported from the regen tool itself, so the test can never check a
+different model than the tool writes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+# allow tiny cross-platform BLAS reassociation, nothing more
+RTOL = 1e-7
+ATOL = 1e-9
+
+
+def _load_regen_module():
+    spec = importlib.util.spec_from_file_location(
+        "regen_golden", REPO_ROOT / "tools" / "regen_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def regen():
+    return _load_regen_module()
+
+
+@pytest.fixture(scope="module")
+def golden_dataset(regen):
+    return regen.build_dataset()
+
+
+class TestGoldenForecasts:
+    def test_all_models_have_fixtures(self, regen):
+        missing = [
+            name
+            for name in regen.GOLDEN_MODELS
+            if not (GOLDEN_DIR / f"{name.replace('-', '_')}.npz").exists()
+        ]
+        assert not missing, (
+            f"golden fixtures missing for {missing}; run tools/regen_golden.py"
+        )
+
+    @pytest.mark.parametrize("name", ["st-wa", "gru", "stgcn"])
+    def test_forecast_matches_fixture(self, regen, golden_dataset, name):
+        fixture = np.load(GOLDEN_DIR / f"{name.replace('-', '_')}.npz")
+        assert str(fixture["model"]) == name
+        prediction = regen.compute_forecast(name, golden_dataset)
+        assert prediction.shape == fixture["prediction"].shape
+        np.testing.assert_allclose(
+            prediction,
+            fixture["prediction"],
+            rtol=RTOL,
+            atol=ATOL,
+            err_msg=(
+                f"{name} forecast drifted from its golden fixture; if the "
+                "numerical change is intentional, run tools/regen_golden.py"
+            ),
+        )
+
+    def test_fixture_batch_matches_recipe(self, regen, golden_dataset):
+        """The stored (x, y) batch is the one the recipe still produces."""
+        name = regen.GOLDEN_MODELS[0]
+        fixture = np.load(GOLDEN_DIR / f"{name.replace('-', '_')}.npz")
+        x, y = regen.golden_batch(golden_dataset)
+        np.testing.assert_allclose(fixture["x"], x, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(fixture["y"], y, rtol=RTOL, atol=ATOL)
+
+    def test_forecasts_are_deterministic(self, regen, golden_dataset):
+        a = regen.compute_forecast("st-wa", golden_dataset)
+        b = regen.compute_forecast("st-wa", golden_dataset)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,385 @@
+"""Data-parallel training engine (repro.parallel).
+
+The headline tier-1 gate lives in :class:`TestTrainerEquivalence`:
+``Trainer(n_workers=2)`` must reproduce the serial loss trajectory within
+1e-6 relative tolerance over several epochs on a deterministic model.  The
+remaining classes unit-test the pieces that make that hold — contiguous
+sharding, deterministic tree reduction, the weight codec, worker RNG
+splitting, the shared-memory prefetcher, and worker failure translation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_deterministic_st_wa
+from repro.core.loss import STWALoss
+from repro.data import WindowSpec
+from repro.data.windows import BatchIterator, SlidingWindowDataset
+from repro.nn import Dropout
+from repro.nn.module import Parameter
+from repro.optim import all_reduce_gradients, tree_reduce
+from repro.parallel import (
+    ParallelConfig,
+    PrefetchingBatchIterator,
+    WorkerError,
+    WorkerPool,
+    default_start_method,
+    shard_batch,
+)
+from repro.tensor import Tensor, reseed_module_generators, spawn_streams, worker_seed_sequence
+from repro.training import Trainer, TrainerConfig, dumps_state_dict, loads_state_dict
+
+SPEC = WindowSpec(12, 12)
+
+
+def small_det_model(num_sensors: int = 8, seed: int = 0):
+    """A tiny deterministic ST-WA: full architecture, exact parallel math."""
+    return make_deterministic_st_wa(
+        num_sensors, model_dim=8, skip_dim=8, predictor_hidden=16, seed=seed
+    )
+
+
+def parallel_trainer(tiny_dataset, n_workers: int = 0, **overrides):
+    config = dict(
+        epochs=3,
+        batch_size=16,
+        max_batches_per_epoch=4,
+        eval_batches=2,
+        lr=6e-3,
+        seed=0,
+        patience=10_000,
+        n_workers=n_workers,
+    )
+    config.update(overrides)
+    model = small_det_model(tiny_dataset.num_sensors)
+    return Trainer(model, tiny_dataset, SPEC, TrainerConfig(**config))
+
+
+# --------------------------------------------------------------------- #
+# sharding
+# --------------------------------------------------------------------- #
+class TestShardBatch:
+    def test_concat_reproduces_batch(self, rng):
+        x = rng.normal(size=(10, 4, 3, 1))
+        y = rng.normal(size=(10, 4, 2, 1))
+        shards = shard_batch(x, y, 3)
+        assert len(shards) == 3
+        np.testing.assert_array_equal(np.concatenate([s[0] for s in shards]), x)
+        np.testing.assert_array_equal(np.concatenate([s[1] for s in shards]), y)
+
+    def test_small_batch_never_yields_empty_shards(self, rng):
+        x = rng.normal(size=(2, 4, 3, 1))
+        y = rng.normal(size=(2, 4, 2, 1))
+        shards = shard_batch(x, y, 4)
+        assert len(shards) == 2
+        assert all(len(xs) >= 1 for xs, _ in shards)
+
+    def test_batch_size_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="disagree"):
+            shard_batch(rng.normal(size=(4, 2)), rng.normal(size=(3, 2)), 2)
+
+    def test_empty_batch_raises(self):
+        empty = np.empty((0, 4, 3, 1))
+        with pytest.raises(ValueError, match="empty"):
+            shard_batch(empty, empty, 2)
+
+
+# --------------------------------------------------------------------- #
+# reduction
+# --------------------------------------------------------------------- #
+class TestTreeReduce:
+    def test_matches_sum(self, rng):
+        values = [rng.normal(size=(3, 2)) for _ in range(7)]
+        np.testing.assert_allclose(tree_reduce(values, np.add), np.sum(values, axis=0))
+
+    def test_pairwise_order_is_deterministic(self):
+        trace = tree_reduce(list("abcde"), lambda left, right: f"({left}+{right})")
+        assert trace == "(((a+b)+(c+d))+e)"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            tree_reduce([], lambda a, b: a)
+
+
+class TestAllReduceGradients:
+    def test_weighted_mean_written_to_grad(self):
+        parameter = Parameter(np.zeros(3))
+        g0, g1 = np.array([1.0, 2.0, 3.0]), np.array([5.0, 6.0, 7.0])
+        total = all_reduce_gradients([parameter], [[g0], [g1]], [3.0, 1.0])
+        assert total == 4.0
+        np.testing.assert_allclose(parameter.grad, 0.75 * g0 + 0.25 * g1)
+
+    def test_replaces_rather_than_accumulates(self):
+        parameter = Parameter(np.zeros(2))
+        parameter.grad = np.array([100.0, 100.0])
+        all_reduce_gradients([parameter], [[np.ones(2)], [np.ones(2)]], [1.0, 1.0])
+        np.testing.assert_allclose(parameter.grad, np.ones(2))
+
+    def test_missing_shard_grads_keep_total_weighting(self):
+        # a parameter untouched on one shard contributes only its present
+        # shards, still scaled by the *total* weight (the absent gradient is
+        # exactly zero, not renormalized away)
+        parameter = Parameter(np.zeros(2))
+        g0 = np.array([4.0, 8.0])
+        all_reduce_gradients([parameter], [[g0], [None]], [1.0, 3.0])
+        np.testing.assert_allclose(parameter.grad, 0.25 * g0)
+
+    def test_all_missing_gives_none(self):
+        parameter = Parameter(np.zeros(2))
+        parameter.grad = np.ones(2)
+        all_reduce_gradients([parameter], [[None], [None]], [1.0, 1.0])
+        assert parameter.grad is None
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="weights"):
+            all_reduce_gradients([], [[], []], [1.0])
+
+    def test_nonpositive_weights_raise(self):
+        with pytest.raises(ValueError, match="positive"):
+            all_reduce_gradients([], [[], []], [0.0, 0.0])
+
+
+# --------------------------------------------------------------------- #
+# RNG stream splitting
+# --------------------------------------------------------------------- #
+class TestRngStreams:
+    def test_spawn_streams_reproducible(self):
+        a = [g.normal(size=4) for g in spawn_streams(11, 3)]
+        b = [g.normal(size=4) for g in spawn_streams(11, 3)]
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
+
+    def test_spawn_streams_distinct(self):
+        draws = [g.normal(size=8) for g in spawn_streams(11, 4)]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.allclose(draws[i], draws[j])
+
+    def test_stream_i_independent_of_n(self):
+        two = spawn_streams(5, 2)[0].normal(size=6)
+        four = spawn_streams(5, 4)[0].normal(size=6)
+        np.testing.assert_array_equal(two, four)
+
+    def test_worker_seed_sequences_distinct_by_worker_and_key(self):
+        sequences = [
+            worker_seed_sequence(0, 0, "a"),
+            worker_seed_sequence(0, 1, "a"),
+            worker_seed_sequence(0, 0, "b"),
+            worker_seed_sequence(1, 0, "a"),
+        ]
+        states = [tuple(s.generate_state(4)) for s in sequences]
+        assert len(set(states)) == len(states)
+
+    def test_negative_worker_raises(self):
+        with pytest.raises(ValueError):
+            worker_seed_sequence(0, -1)
+
+    def test_reseed_module_generators(self):
+        module_a, module_b = Dropout(0.5), Dropout(0.5)
+        named_a = reseed_module_generators(module_a, seed=3, worker_id=0)
+        named_b = reseed_module_generators(module_b, seed=3, worker_id=1)
+        assert set(named_a) == {"_rng"} and set(named_b) == {"_rng"}
+        # workers draw different noise; the same worker id reproduces its own
+        assert not np.allclose(module_a._rng.normal(size=8), module_b._rng.normal(size=8))
+        module_c = Dropout(0.5)
+        reseed_module_generators(module_c, seed=3, worker_id=1)
+        module_d = Dropout(0.5)
+        reseed_module_generators(module_d, seed=3, worker_id=1)
+        np.testing.assert_array_equal(
+            module_c._rng.normal(size=8), module_d._rng.normal(size=8)
+        )
+
+
+# --------------------------------------------------------------------- #
+# weight wire codec
+# --------------------------------------------------------------------- #
+class TestWeightCodec:
+    def test_round_trip_preserves_arrays(self):
+        model = small_det_model()
+        state = model.state_dict()
+        restored = loads_state_dict(dumps_state_dict(state))
+        assert set(restored) == set(state)
+        for key, value in state.items():
+            np.testing.assert_array_equal(restored[key], value)
+            assert restored[key].dtype == np.asarray(value).dtype
+
+    def test_corrupt_blob_raises(self):
+        from repro.training.checkpoint import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            loads_state_dict(b"not an npz archive")
+
+
+# --------------------------------------------------------------------- #
+# prefetcher
+# --------------------------------------------------------------------- #
+class TestPrefetchingBatchIterator:
+    def make_windows(self, tiny_dataset):
+        return SlidingWindowDataset(tiny_dataset.train, SPEC, raw=tiny_dataset.train_raw)
+
+    def test_matches_serial_iterator_across_epochs(self, tiny_dataset):
+        windows = self.make_windows(tiny_dataset)
+        serial = BatchIterator(
+            windows, batch_size=16, shuffle=True, rng=np.random.default_rng(0), max_batches=4
+        )
+        prefetched = PrefetchingBatchIterator(
+            windows, batch_size=16, shuffle=True, rng=np.random.default_rng(0), max_batches=4
+        )
+        assert len(serial) == len(prefetched)
+        for _ in range(2):  # second epoch reshuffles: RNG consumption must match
+            batches_serial = list(serial)
+            batches_prefetched = [(x.copy(), y.copy()) for x, y in prefetched]
+            assert len(batches_serial) == len(batches_prefetched) == 4
+            for (xs, ys), (xp, yp) in zip(batches_serial, batches_prefetched):
+                np.testing.assert_array_equal(xs, xp)
+                np.testing.assert_array_equal(ys, yp)
+
+    def test_partial_final_batch(self, tiny_dataset):
+        windows = self.make_windows(tiny_dataset)
+        batch_size = len(windows) - 1  # forces a final batch of exactly 1
+        sizes = [len(x) for x, _ in PrefetchingBatchIterator(windows, batch_size, shuffle=False)]
+        assert sizes == [batch_size, 1]
+
+    def test_invalid_config_raises(self, tiny_dataset):
+        windows = self.make_windows(tiny_dataset)
+        with pytest.raises(ValueError):
+            PrefetchingBatchIterator(windows, batch_size=0)
+        with pytest.raises(ValueError):
+            PrefetchingBatchIterator(windows, batch_size=4, slots=1)
+
+
+# --------------------------------------------------------------------- #
+# worker pool
+# --------------------------------------------------------------------- #
+class TestWorkerPool:
+    def make_batch(self, tiny_dataset, size: int = 8):
+        windows = SlidingWindowDataset(tiny_dataset.train, SPEC)
+        x, y = windows.sample(np.arange(size))
+        return x, y  # y already scaled (data==raw here): fine for loss math
+
+    def test_step_matches_serial_loss(self, tiny_dataset):
+        model = small_det_model(tiny_dataset.num_sensors)
+        x, y = self.make_batch(tiny_dataset)
+        config = ParallelConfig(n_workers=2, seed=0)
+        with WorkerPool(model, config, huber_delta=1.0, kl_weight=0.02) as pool:
+            blob = dumps_state_dict(model.state_dict())
+            results = pool.train_step(blob, shard_batch(x, y, 2))
+        assert len(results) == 2
+        assert all(np.isfinite(r.loss) for r in results)
+        # shard weights are the finite target element counts
+        assert sum(r.weight for r in results) == float(np.isfinite(y).sum())
+        total = sum(r.weight for r in results)
+        combined = sum(r.weight * r.loss for r in results) / total
+        model.train()
+        # deterministic model: weighted shard mean == full-batch loss
+        loss = STWALoss(delta=1.0, kl_weight=0.02)(model(Tensor(x)), Tensor(y), model=None)
+        np.testing.assert_allclose(combined, float(loss.item()), rtol=1e-12)
+        # gradients align with the parameter list and carry data
+        parameters = model.parameters()
+        for result in results:
+            assert len(result.grads) == len(parameters)
+            assert any(g is not None and np.any(g != 0) for g in result.grads)
+
+    def test_floating_point_error_translated(self, tiny_dataset):
+        model = small_det_model(tiny_dataset.num_sensors)
+        x, y = self.make_batch(tiny_dataset, size=4)
+        x = x.copy()
+        x[0] = np.nan  # anomaly screen trips inside the worker
+        config = ParallelConfig(n_workers=2, seed=0, detect_anomaly=True)
+        with WorkerPool(model, config, huber_delta=1.0, kl_weight=0.02) as pool:
+            blob = dumps_state_dict(model.state_dict())
+            with pytest.raises(FloatingPointError, match="worker"):
+                pool.train_step(blob, shard_batch(x, y, 2))
+            # pipes stayed in sync: the pool still serves clean steps (this
+            # is what lets RecoveryPolicy roll back and retry)
+            x_ok, y_ok = self.make_batch(tiny_dataset, size=4)
+            results = pool.train_step(blob, shard_batch(x_ok, y_ok, 2))
+            assert all(np.isfinite(r.loss) for r in results)
+
+    def test_too_many_shards_raises(self, tiny_dataset):
+        model = small_det_model(tiny_dataset.num_sensors)
+        x, y = self.make_batch(tiny_dataset, size=6)
+        with WorkerPool(model, ParallelConfig(n_workers=2), huber_delta=1.0, kl_weight=0.0) as pool:
+            with pytest.raises(ValueError, match="exceed"):
+                pool.train_step(None, shard_batch(x, y, 3) + [(x[:1], y[:1])])
+
+    def test_closed_pool_raises(self, tiny_dataset):
+        model = small_det_model(tiny_dataset.num_sensors)
+        pool = WorkerPool(model, ParallelConfig(n_workers=2), huber_delta=1.0, kl_weight=0.0)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(WorkerError, match="closed"):
+            pool.train_step(None, [(np.zeros((1, 2)), np.zeros((1, 2)))])
+
+    def test_config_rejects_single_worker(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ParallelConfig(n_workers=1)
+
+    def test_default_start_method_is_valid(self):
+        import multiprocessing
+
+        assert default_start_method() in multiprocessing.get_all_start_methods()
+
+
+# --------------------------------------------------------------------- #
+# Trainer integration: the headline equivalence gate
+# --------------------------------------------------------------------- #
+class TestTrainerEquivalence:
+    def test_two_workers_match_serial_trajectory(self, tiny_dataset):
+        """Tier-1 gate: n_workers=2 == serial within 1e-6 over 3 epochs."""
+        serial = parallel_trainer(tiny_dataset, n_workers=0).fit()
+        parallel = parallel_trainer(tiny_dataset, n_workers=2).fit()
+        assert parallel.epochs_run == serial.epochs_run == 3
+        np.testing.assert_allclose(parallel.train_loss, serial.train_loss, rtol=1e-6)
+        np.testing.assert_allclose(parallel.val_mae, serial.val_mae, rtol=1e-6)
+
+    def test_parallel_run_is_deterministic(self, tiny_dataset):
+        a = parallel_trainer(tiny_dataset, n_workers=2).fit()
+        b = parallel_trainer(tiny_dataset, n_workers=2).fit()
+        np.testing.assert_array_equal(a.train_loss, b.train_loss)
+
+    def test_pool_closed_after_fit(self, tiny_dataset):
+        trainer = parallel_trainer(tiny_dataset, n_workers=2, epochs=1, max_batches_per_epoch=2)
+        trainer.fit()
+        assert trainer._pool is None
+
+    def test_equivalence_without_prefetch(self, tiny_dataset):
+        serial = parallel_trainer(tiny_dataset, n_workers=0, epochs=2).fit()
+        parallel = parallel_trainer(tiny_dataset, n_workers=2, epochs=2, prefetch=False).fit()
+        np.testing.assert_allclose(parallel.train_loss, serial.train_loss, rtol=1e-6)
+
+    def test_checkpoint_resume_under_parallel(self, tiny_dataset, tmp_path):
+        full = parallel_trainer(tiny_dataset, n_workers=2, epochs=3).fit()
+        first = parallel_trainer(
+            tiny_dataset, n_workers=2, epochs=2, checkpoint_dir=tmp_path
+        )
+        first.fit()
+        from repro.training import latest_checkpoint
+
+        resumed_trainer = parallel_trainer(
+            tiny_dataset, n_workers=2, epochs=3, checkpoint_dir=tmp_path
+        )
+        resumed = resumed_trainer.fit(resume_from=latest_checkpoint(tmp_path))
+        np.testing.assert_allclose(resumed.train_loss, full.train_loss, rtol=1e-6)
+
+    def test_parallel_sections_reach_profiler(self, tiny_dataset):
+        from repro.obs import profile
+
+        with profile() as profiler:
+            parallel_trainer(tiny_dataset, n_workers=2, epochs=1, max_batches_per_epoch=2).fit()
+        names = set(profiler.parallel)
+        assert {"serialize", "reduce", "worker0", "worker1"} <= names
+
+    @pytest.mark.slow
+    def test_spawn_start_method_smoke(self, tiny_dataset):
+        trainer = parallel_trainer(
+            tiny_dataset,
+            n_workers=2,
+            epochs=1,
+            max_batches_per_epoch=2,
+            parallel_start_method="spawn",
+        )
+        history = trainer.fit()
+        assert np.isfinite(history.train_loss[0])

@@ -1,0 +1,129 @@
+"""Regenerate the golden forecast fixtures under ``tests/golden/``.
+
+Each fixture freezes the eval-mode forecast of one model — ST-WA plus two
+baselines — on a fixed synthetic dataset and a fixed window batch.  The
+regression test (``tests/test_golden.py``) rebuilds the same model from the
+same seeds, reruns the forward pass, and compares against the stored
+arrays within tolerance; any unintentional numerical drift in the tensor
+substrate, the layers, or the model wiring shows up as a diff against
+these files.
+
+Run after an *intentional* numerical change:
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+and commit the updated ``tests/golden/*.npz`` together with the change
+that moved the numbers.  The test imports this module for the build
+recipes, so test and tool can never disagree about how a fixture is made.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # direct `python tools/regen_golden.py`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.baselines import GRUForecaster, STGCNForecaster  # noqa: E402
+from repro.core import make_st_wa  # noqa: E402
+from repro.data import SyntheticTrafficConfig, TrafficSimulator, WindowSpec  # noqa: E402
+from repro.data.datasets import TrafficDataset  # noqa: E402
+from repro.data.scalers import StandardScaler  # noqa: E402
+from repro.data.windows import SlidingWindowDataset, chronological_split  # noqa: E402
+from repro.tensor import Tensor  # noqa: E402
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+SPEC = WindowSpec(12, 12)
+BATCH_INDICES = np.arange(0, 24, 3)  # 8 samples spread across the split
+MODEL_SEED = 0
+
+#: models frozen as golden fixtures: the paper's model + two baselines
+GOLDEN_MODELS = ("st-wa", "gru", "stgcn")
+
+
+def build_dataset() -> TrafficDataset:
+    """The fixed golden dataset (mirrors the test suite's tiny_dataset)."""
+    config = SyntheticTrafficConfig(num_sensors=8, num_days=6, num_corridors=2, seed=7)
+    simulator = TrafficSimulator(config)
+    flows = simulator.generate()
+    train_raw, val_raw, test_raw = chronological_split(flows)
+    scaler = StandardScaler().fit(train_raw)
+    return TrafficDataset(
+        name="GOLDEN",
+        profile="test",
+        train=scaler.transform(train_raw),
+        val=scaler.transform(val_raw),
+        test=scaler.transform(test_raw),
+        train_raw=train_raw,
+        val_raw=val_raw,
+        test_raw=test_raw,
+        scaler=scaler,
+        network=simulator.network,
+    )
+
+
+def build_model(name: str, dataset: TrafficDataset):
+    """One fixed small instance per golden model, fully seed-determined."""
+    sensors = dataset.num_sensors
+    if name == "st-wa":
+        return make_st_wa(
+            sensors, model_dim=8, skip_dim=8, predictor_hidden=16, seed=MODEL_SEED
+        )
+    if name == "gru":
+        return GRUForecaster(
+            SPEC.history, SPEC.horizon, hidden_size=8, predictor_hidden=32, seed=MODEL_SEED
+        )
+    if name == "stgcn":
+        return STGCNForecaster(
+            sensors,
+            dataset.adjacency,
+            SPEC.history,
+            SPEC.horizon,
+            hidden=8,
+            predictor_hidden=32,
+            seed=MODEL_SEED,
+        )
+    raise KeyError(f"no golden recipe for model {name!r}; known: {GOLDEN_MODELS}")
+
+
+def golden_batch(dataset: TrafficDataset):
+    """The fixed evaluation batch every fixture is scored on."""
+    windows = SlidingWindowDataset(dataset.val, SPEC, raw=dataset.val_raw)
+    return windows.sample(BATCH_INDICES)
+
+
+def compute_forecast(name: str, dataset: TrafficDataset) -> np.ndarray:
+    """Deterministic eval-mode forward: latents collapse to their means."""
+    model = build_model(name, dataset)
+    model.eval()
+    x, _ = golden_batch(dataset)
+    return model(Tensor(x)).data
+
+
+def regenerate(out_dir: Path = GOLDEN_DIR) -> dict:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    dataset = build_dataset()
+    x, y = golden_batch(dataset)
+    written = {}
+    for name in GOLDEN_MODELS:
+        prediction = compute_forecast(name, dataset)
+        path = out_dir / f"{name.replace('-', '_')}.npz"
+        np.savez_compressed(
+            path,
+            prediction=prediction,
+            x=x,
+            y=y,
+            model=np.array(name),
+            seed=np.array(MODEL_SEED),
+        )
+        written[name] = path
+        print(f"wrote {path}  prediction shape {prediction.shape}")
+    return written
+
+
+if __name__ == "__main__":
+    regenerate()
