@@ -26,11 +26,19 @@ Subpackages
     Observability: op-level profiler, module spans, JSONL metric sinks.
 ``repro.resilience``
     Fault tolerance: anomaly detection, divergence recovery, fault drills.
+``repro.exec``
+    The Executor seam: serial / parallel / inference execution backends
+    selected by ``ExecutorSpec`` (see DESIGN.md "Executor").
 ``repro.parallel``
     Multiprocess data-parallel training: worker pool, gradient all-reduce,
-    shared-memory batch prefetching (``Trainer(n_workers=...)``).
+    shared-memory batch prefetching (``ExecutorSpec.parallel(...)``).
 ``repro.serve``
     Online inference: artifacts, micro-batching, caching, latency SLOs.
+
+``repro.serve``, ``repro.parallel``, and ``repro.harness`` are imported
+lazily (PEP 562): ``import repro`` does not pay for — or spawn anything on
+behalf of — the serving or multiprocessing planes until first attribute
+access.
 
 Quickstart
 ----------
@@ -46,20 +54,25 @@ Quickstart
 
 __version__ = "1.0.0"
 
+import importlib
+
 from . import (
     analysis,
     baselines,
     core,
     data,
-    harness,
+    exec,  # noqa: A004 - the Executor subsystem, deliberately named
     nn,
     obs,
     optim,
-    parallel,
     resilience,
     tensor,
     training,
 )
+
+#: subpackages resolved on first attribute access (PEP 562): harness pulls
+#: in serve (serve_bench), and serve/parallel touch multiprocessing
+_LAZY_SUBPACKAGES = ("harness", "parallel", "serve")
 
 __all__ = [
     "tensor",
@@ -70,9 +83,23 @@ __all__ = [
     "baselines",
     "training",
     "analysis",
+    "exec",
     "harness",
     "obs",
     "parallel",
     "resilience",
+    "serve",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBPACKAGES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module  # cache: __getattr__ runs once per name
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_SUBPACKAGES))

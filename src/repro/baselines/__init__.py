@@ -18,7 +18,6 @@ from .registry import (
     MODEL_BUILDERS,
     MODEL_FAMILIES,
     BuildSpec,
-    adapt_legacy_builder,
     available_models,
     build_from_spec,
     build_model,
@@ -63,7 +62,6 @@ __all__ = [
     "MODEL_BUILDERS",
     "MODEL_FAMILIES",
     "BuildSpec",
-    "adapt_legacy_builder",
     "available_models",
     "build_from_spec",
     "build_model",

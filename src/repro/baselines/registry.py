@@ -20,10 +20,10 @@ shape, seed, and free-form hyper-parameter ``overrides``::
     model = build_from_spec("st-wa", spec)
 
 The legacy positional contract ``builder(dataset, history, horizon, seed)``
-is still accepted everywhere a builder is registered or looked up: a thin
-shim adapts it and emits a single :class:`DeprecationWarning` per builder.
-:func:`build_model` keeps its historical positional signature on top of the
-spec API.
+is no longer accepted: :func:`register_model` rejects it with a
+``TypeError`` naming the replacement.  (It was adapted with a
+``DeprecationWarning`` for one release.)  :func:`build_model` keeps its
+historical positional signature on top of the spec API.
 
 Every builder returns a model obeying the common forecaster contract
 (scaled ``(B, N, H, F)`` -> scaled ``(B, N, U, F)``).  ``MODEL_FAMILIES``
@@ -34,7 +34,6 @@ OOM reproduction.
 from __future__ import annotations
 
 import inspect
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Optional
 
@@ -111,38 +110,10 @@ class BuildSpec:
 #: the builder contract: one keyword-friendly spec in, a forecaster out
 Builder = Callable[[BuildSpec], Module]
 
-#: pre-redesign positional contract, still accepted via :func:`adapt_legacy_builder`
-LegacyBuilder = Callable[[TrafficDataset, int, int, int], Module]
 
-
-def adapt_legacy_builder(builder: LegacyBuilder) -> Builder:
-    """Wrap a positional ``(dataset, history, horizon, seed)`` builder.
-
-    The adapter emits one :class:`DeprecationWarning` the first time the
-    wrapped builder actually runs, then stays quiet.
-    """
-    warned = []
-
-    def build(spec: BuildSpec) -> Module:
-        if not warned:
-            warned.append(True)
-            warnings.warn(
-                "positional model builders (dataset, history, horizon, seed) are "
-                "deprecated; take a single BuildSpec instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        return builder(spec.dataset, spec.history, spec.horizon, spec.seed)
-
-    build.__wrapped__ = builder
-    return build
-
-
-def _is_legacy_builder(builder: Callable) -> bool:
-    """Heuristically detect the old 4-positional-argument contract."""
+def _looks_legacy(builder: Callable) -> bool:
+    """Detect the removed 4-positional-argument contract (for the error)."""
     try:
-        # follow_wrapped=False: adapters advertise the legacy builder via
-        # __wrapped__ and must not be re-detected as legacy themselves
         signature = inspect.signature(builder, follow_wrapped=False)
     except (TypeError, ValueError):
         return False
@@ -157,11 +128,19 @@ def _is_legacy_builder(builder: Callable) -> bool:
 def register_model(name: str, builder: Callable, family: Optional[str] = None) -> None:
     """Register (or replace) a builder under ``name`` (case-insensitive).
 
-    New-style builders take one :class:`BuildSpec`; legacy positional
-    builders are adapted through :func:`adapt_legacy_builder` and warn once.
+    Builders take one :class:`BuildSpec`.  The pre-redesign positional
+    contract ``builder(dataset, history, horizon, seed)`` is rejected with
+    a ``TypeError`` — wrap it yourself::
+
+        register_model(name, lambda spec: old(spec.dataset, spec.history,
+                                              spec.horizon, spec.seed))
     """
-    if _is_legacy_builder(builder):
-        builder = adapt_legacy_builder(builder)
+    if _looks_legacy(builder):
+        raise TypeError(
+            f"builder for {name!r} uses the removed positional contract "
+            "(dataset, history, horizon, seed); register a callable taking "
+            "a single BuildSpec instead"
+        )
     MODEL_BUILDERS[name.lower()] = builder
     if family is not None:
         MODEL_FAMILIES[name.lower()] = family
@@ -379,11 +358,7 @@ def build_from_spec(name: str, spec: BuildSpec) -> Module:
     key = name.lower()
     if key not in MODEL_BUILDERS:
         raise KeyError(f"unknown model {name!r}; available: {available_models()}")
-    builder = MODEL_BUILDERS[key]
-    if _is_legacy_builder(builder):
-        # registered by direct dict assignment, bypassing register_model
-        builder = MODEL_BUILDERS[key] = adapt_legacy_builder(builder)
-    return builder(spec)
+    return MODEL_BUILDERS[key](spec)
 
 
 def build_model(

@@ -1,0 +1,49 @@
+"""One Executor API under training and serving (see DESIGN.md "Executor").
+
+Every way this repo runs a model — the serial training loop, the
+multiprocess data-parallel pool, gradient-free inference, micro-batched
+serving — implements one contract:
+
+* :class:`Executor` — ``train_step(weights, batch) -> StepResult`` /
+  ``predict(weights, inputs) -> outputs`` plus an ``open()``/``close()``
+  resource lifecycle (:mod:`repro.exec.base`).
+* :class:`SerialExecutor` — in-process forward/backward.
+* :class:`ParallelExecutor` — batches sharded across a
+  :class:`repro.parallel.WorkerPool`, gradients tree-reduced.
+* :class:`InferenceExecutor` — the :class:`repro.tensor.inference_mode`
+  graph-free fast path with optional scaler/shape handling; training
+  raises.
+* :class:`ExecutorSpec` + :func:`make_executor` — declarative selection.
+
+:class:`repro.training.Trainer` and :class:`repro.serve.ServingEngine`
+both execute exclusively through this seam, so backends (a compiled
+trace-once plan, sensor sharding) land once and apply everywhere.
+"""
+
+from .base import (
+    Batch,
+    Executor,
+    ExecutorError,
+    ExecutorStateError,
+    StepResult,
+    eval_forward,
+)
+from .inference import InferenceExecutor
+from .parallel import ParallelExecutor
+from .serial import SerialExecutor
+from .spec import EXECUTOR_KINDS, ExecutorSpec, make_executor
+
+__all__ = [
+    "Batch",
+    "EXECUTOR_KINDS",
+    "Executor",
+    "ExecutorError",
+    "ExecutorStateError",
+    "ExecutorSpec",
+    "InferenceExecutor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "StepResult",
+    "eval_forward",
+    "make_executor",
+]

@@ -1,0 +1,143 @@
+"""Executor selection: a declarative spec + the factory that builds one.
+
+:class:`ExecutorSpec` is the single configuration surface for *how* a model
+executes — serial in-process, sharded across a multiprocess worker pool, or
+gradient-free inference — independent of *what* runs (the model, the loss,
+the dataset).  :class:`repro.training.TrainerConfig` carries one, the
+serving plane builds one per artifact, and the harness benches sweep them.
+
+>>> from repro.exec import ExecutorSpec, make_executor
+>>> spec = ExecutorSpec.parallel(n_workers=4)
+>>> executor = make_executor(model, spec, huber_delta=1.0, kl_weight=0.02)
+>>> with executor:
+...     result = executor.train_step(None, (x, y))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["EXECUTOR_KINDS", "ExecutorSpec", "make_executor"]
+
+#: the execution strategies the factory knows how to build
+EXECUTOR_KINDS = ("serial", "parallel", "inference")
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """Declarative description of an execution strategy.
+
+    Parameters
+    ----------
+    kind:
+        ``"serial"`` — in-process forward/backward;
+        ``"parallel"`` — every batch sharded across ``n_workers`` worker
+        processes (:mod:`repro.parallel`), gradients tree-reduced;
+        ``"inference"`` — gradient-free prediction only (training raises).
+    n_workers / start_method / step_timeout:
+        Worker-pool knobs, meaningful for ``kind="parallel"`` only.
+    prefetch:
+        Assemble training batches in a background shared-memory process
+        (parallel only; serial assembly is already overlapped by nothing).
+    detect_anomaly:
+        Per-op NaN/Inf screening during training steps (slow; debugging).
+    """
+
+    kind: str = "serial"
+    n_workers: int = 0
+    start_method: Optional[str] = None  # fork | spawn | None (auto)
+    prefetch: bool = True
+    detect_anomaly: bool = False
+    step_timeout: float = 300.0
+
+    def __post_init__(self):
+        if self.kind not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor kind must be one of {EXECUTOR_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "parallel" and self.n_workers < 2:
+            raise ValueError(
+                f"a parallel executor needs n_workers >= 2, got {self.n_workers}"
+            )
+        if self.kind != "parallel" and self.n_workers:
+            raise ValueError(
+                f"n_workers={self.n_workers} only makes sense with kind='parallel'"
+            )
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def serial(cls, *, detect_anomaly: bool = False) -> "ExecutorSpec":
+        return cls(kind="serial", detect_anomaly=detect_anomaly)
+
+    @classmethod
+    def parallel(
+        cls,
+        n_workers: int = 2,
+        *,
+        start_method: Optional[str] = None,
+        prefetch: bool = True,
+        detect_anomaly: bool = False,
+        step_timeout: float = 300.0,
+    ) -> "ExecutorSpec":
+        return cls(
+            kind="parallel",
+            n_workers=n_workers,
+            start_method=start_method,
+            prefetch=prefetch,
+            detect_anomaly=detect_anomaly,
+            step_timeout=step_timeout,
+        )
+
+    @classmethod
+    def inference(cls) -> "ExecutorSpec":
+        return cls(kind="inference")
+
+    def with_overrides(self, **changes) -> "ExecutorSpec":
+        return replace(self, **changes)
+
+
+def make_executor(
+    model,
+    spec: ExecutorSpec,
+    *,
+    huber_delta: float = 1.0,
+    kl_weight: float = 0.0,
+    seed: int = 0,
+    scaler=None,
+    history: Optional[int] = None,
+):
+    """Build the :class:`Executor` described by ``spec`` over ``model``.
+
+    ``huber_delta`` / ``kl_weight`` parameterize the training loss (unused
+    by inference executors); ``seed`` feeds the parallel workers' RNG
+    streams; ``scaler`` / ``history`` configure inference executors that
+    serve raw-unit windows (see
+    :class:`repro.exec.inference.InferenceExecutor`).
+    """
+    from .inference import InferenceExecutor
+    from .parallel import ParallelExecutor
+    from .serial import SerialExecutor
+
+    if spec.kind == "serial":
+        return SerialExecutor(
+            model,
+            huber_delta=huber_delta,
+            kl_weight=kl_weight,
+            detect_anomaly=spec.detect_anomaly,
+        )
+    if spec.kind == "parallel":
+        return ParallelExecutor(
+            model,
+            n_workers=spec.n_workers,
+            start_method=spec.start_method,
+            prefetch=spec.prefetch,
+            detect_anomaly=spec.detect_anomaly,
+            step_timeout=spec.step_timeout,
+            seed=seed,
+            huber_delta=huber_delta,
+            kl_weight=kl_weight,
+        )
+    return InferenceExecutor(model, scaler=scaler, history=history)

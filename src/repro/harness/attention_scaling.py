@@ -40,7 +40,7 @@ def run(
     model_dim: int = 16,
 ) -> TableResult:
     """Measure per-layer forward+backward time at each input length H."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     rng = np.random.default_rng(0)
     canonical_times = []
     window_times = []

@@ -26,7 +26,7 @@ def run(
     horizon: int = 12,
 ) -> TableResult:
     """Measure s/epoch for each model at each H (few epochs suffice)."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     # runtime measurement needs few epochs regardless of scope
     timing_settings = settings.with_overrides(epochs=min(settings.epochs, 3), patience=99)
     dataset = get_dataset(dataset_name, settings.profile)

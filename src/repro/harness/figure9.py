@@ -36,7 +36,7 @@ def run(
     num_anchor_windows: int = 60,
 ) -> TableResult:
     """Train ST-WA, embed z^(i) and φ_t^(i), measure cluster structure."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     dataset = get_dataset(dataset_name, settings.profile)
     model = make_st_wa(
         dataset.num_sensors,

@@ -33,7 +33,7 @@ def run(
     horizon: int = 12,
 ) -> TableResult:
     """Train each model and report per-step MAE at 15/30/60 minutes."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     dataset = get_dataset(dataset_name, settings.profile)
     spec = WindowSpec(history, horizon)
     per_model = {}

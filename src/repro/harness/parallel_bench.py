@@ -35,6 +35,7 @@ import numpy as np
 
 from ..baselines import BuildSpec, build_from_spec
 from ..data import WindowSpec
+from ..exec import ExecutorSpec
 from ..training import Trainer, TrainerConfig, TrainingHistory
 from .reporting import TableResult, fmt
 from .runner import RunSettings, get_dataset
@@ -66,6 +67,11 @@ def _train(
 ) -> Tuple[TrainingHistory, float]:
     spec = BuildSpec(dataset=dataset, history=HISTORY, horizon=HORIZON, seed=settings.seed)
     model = build_from_spec(model_name, spec)
+    executor = (
+        ExecutorSpec.parallel(n_workers=n_workers, prefetch=prefetch)
+        if n_workers >= 2
+        else ExecutorSpec.serial()
+    )
     config = TrainerConfig(
         lr=settings.lr,
         epochs=epochs,
@@ -74,8 +80,7 @@ def _train(
         max_batches_per_epoch=settings.max_batches,
         eval_batches=settings.eval_batches,
         seed=settings.seed,
-        n_workers=n_workers,
-        prefetch=prefetch,
+        executor=executor,
     )
     trainer = Trainer(model, dataset, WindowSpec(HISTORY, HORIZON), config)
     start = time.perf_counter()
@@ -185,6 +190,10 @@ def run(
     speedup_ok = (not enforced) or best_speedup >= min_speedup
     report = {
         "host": {"cpu_cores": cores},
+        # top-level mirrors for dashboards/jq one-liners: how much hardware
+        # the run saw and whether the speedup gate could actually bite
+        "cores_detected": cores,
+        "speedup_gate_enforced": enforced,
         "model": model_name,
         "scope": settings.scope,
         "fast": fast,

@@ -9,15 +9,14 @@ Scopes trade fidelity for wall time (all on the simulated datasets):
 
 Construct settings explicitly with :meth:`RunSettings.from_scope` (or the
 ``smoke()`` / ``quick()`` / ``standard()`` factories).  The historical
-``REPRO_SCOPE`` environment-variable side channel still works through
-:meth:`RunSettings.from_env` but emits a :class:`DeprecationWarning`.
+``REPRO_SCOPE`` environment-variable side channel is gone:
+:meth:`RunSettings.from_env` now raises ``RuntimeError`` (it warned for one
+release).
 """
 
 from __future__ import annotations
 
-import os
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -73,19 +72,17 @@ class RunSettings:
 
     @classmethod
     def from_env(cls, default: str = "smoke") -> "RunSettings":
-        """Deprecated: pick a scope from the ``REPRO_SCOPE`` env var.
+        """Removed: the ``REPRO_SCOPE`` env side channel no longer exists.
 
-        Prefer :meth:`from_scope` (or passing :class:`RunSettings` all the
-        way down); the environment side channel made scope selection
-        invisible at call sites.
+        It made scope selection invisible at call sites; after a release of
+        :class:`DeprecationWarning` it now raises.  Construct settings
+        explicitly with :meth:`from_scope` (or ``smoke()`` / ``quick()`` /
+        ``standard()``) and pass them down.
         """
-        warnings.warn(
-            "RunSettings.from_env()/REPRO_SCOPE is deprecated; construct settings "
-            "explicitly with RunSettings.from_scope(name)",
-            DeprecationWarning,
-            stacklevel=2,
+        raise RuntimeError(
+            "RunSettings.from_env()/REPRO_SCOPE has been removed; construct "
+            "settings explicitly with RunSettings.from_scope(name)"
         )
-        return cls.from_scope(os.environ.get("REPRO_SCOPE", default))
 
     def with_overrides(self, **kwargs) -> "RunSettings":
         return replace(self, **kwargs)

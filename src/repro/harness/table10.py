@@ -20,7 +20,7 @@ def run(
     horizon: int = 12,
 ) -> TableResult:
     """ST-WA with the regularizer vs. with kl_weight forced to zero."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     dataset = get_dataset(dataset_name, settings.profile)
     results = {}
     for label, kl_weight in (("With", 0.1), ("Without", 0.0)):

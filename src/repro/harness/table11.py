@@ -19,7 +19,7 @@ def run(
     horizon: int = 12,
 ) -> TableResult:
     """ST-WA vs its deterministic counterpart."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     dataset = get_dataset(dataset_name, settings.profile)
     stochastic = train_and_score("ST-WA", dataset, history, horizon, settings)
     deterministic = train_and_score("ST-WA-det", dataset, history, horizon, settings)

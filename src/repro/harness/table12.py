@@ -23,7 +23,7 @@ def run(
     horizon: int = 12,
 ) -> TableResult:
     """Train ST-WA for each latent size k."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     dataset = get_dataset(dataset_name, settings.profile)
     results = {}
     for k in sizes:

@@ -23,7 +23,7 @@ def run(
     horizon: int = 72,
 ) -> TableResult:
     """Train ST-WA for each proxy count at H=U=72."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     dataset = get_dataset(dataset_name, settings.profile)
     results = {}
     for p in proxies:

@@ -19,7 +19,7 @@ def run(
     horizon: int = 72,
 ) -> TableResult:
     """Weighted (ours) vs mean proxy aggregation."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     dataset = get_dataset(dataset_name, settings.profile)
     ours = train_and_score("ST-WA", dataset, history, horizon, settings)
     mean = train_and_score("ST-WA-mean", dataset, history, horizon, settings)

@@ -24,7 +24,7 @@ def run(
     horizon: int = 12,
 ) -> TableResult:
     """Sweep the history length; columns grouped per H as in the paper."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     dataset = get_dataset(dataset_name, settings.profile)
     headers = ["Metric"] + [f"{model} (H={h})" for h in histories for model in models]
     results = {}

@@ -24,7 +24,7 @@ def run(
     horizon: int = 12,
 ) -> TableResult:
     """Base vs +S vs +ST for both model families."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     headers = ["Dataset", "Metric", *models]
     rows = []
     monotone = 0

@@ -29,7 +29,7 @@ def run(
     horizon: int = 12,
 ) -> TableResult:
     """Ablation grid with accuracy + cost rows, as in the paper."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     dataset = get_dataset(dataset_name, settings.profile)
     results = {model: train_and_score(model, dataset, history, horizon, settings) for model in models}
 

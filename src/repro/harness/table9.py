@@ -32,7 +32,7 @@ def run(
     horizon: int = 12,
 ) -> TableResult:
     """Train ST-WA with each window-size stack."""
-    settings = settings or RunSettings.from_env()
+    settings = settings or RunSettings.smoke()
     dataset = get_dataset(dataset_name, settings.profile)
     labels = ["S=" + ",".join(map(str, sizes)) for sizes in configurations]
     results = {}

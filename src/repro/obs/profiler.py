@@ -106,8 +106,9 @@ class Profiler:
         """Attribute wall time to one data-parallel actor.
 
         ``name`` is a stable actor label (``worker0``, ``worker1``,
-        ``reduce``, ``serialize`` — see :class:`repro.training.Trainer`'s
-        parallel path).  Worker seconds are measured *inside* the worker
+        ``reduce``, ``serialize`` — see
+        :class:`repro.exec.ParallelExecutor.train_step`).  Worker seconds
+        are measured *inside* the worker
         process, so they sum to more than the parent's wall time whenever
         the pool actually overlaps — that surplus is the parallelism.
         """

@@ -12,8 +12,9 @@ Two cooperating pieces:
   background assembler writing sliding-window batches into double-buffered
   shared memory so batch assembly overlaps compute.
 
-The front door is :class:`repro.training.Trainer` with
-``TrainerConfig(n_workers=...)``; this package is the engine room.  The
+The front door is :class:`repro.exec.ParallelExecutor` — selected by
+``TrainerConfig(executor=ExecutorSpec.parallel(n_workers=...))`` — and
+this package is the engine room.  The
 equivalence contract — parallel training reproduces the serial loss
 trajectory for deterministic models at any worker count — is enforced by
 ``tests/test_parallel.py`` and ``python -m repro.harness parallel-bench``.

@@ -31,8 +31,8 @@ import numpy as np
 
 from ..data.datasets import TrafficDataset, load_dataset
 from ..data.scalers import MinMaxScaler, StandardScaler
+from ..exec import InferenceExecutor
 from ..nn import Module
-from ..tensor import Tensor, inference_mode
 from ..training.checkpoint import (
     CheckpointError,
     load_training_checkpoint,
@@ -197,6 +197,12 @@ class ForecasterArtifact:
         self.horizon = int(horizon)
         self.metadata = dict(metadata or {})
         self.freeze()
+        #: the execution seam (repro.exec): scaler + shape handling + the
+        #: inference_mode forward live there, shared with every other
+        #: prediction surface.  Resource-free, so it stays open for life.
+        self.executor = InferenceExecutor(
+            self.model, scaler=self.scaler, history=self.history
+        ).open()
         #: stable identity for cache keys: architecture + exact weights
         self.model_id = f"{model_name}:{_weights_digest(model.state_dict())}"
 
@@ -250,22 +256,12 @@ class ForecasterArtifact:
 
         ``window`` is ``(N, H, F)`` for one network snapshot or
         ``(B, N, H, F)`` for a batch; the result keeps the input's rank
-        (``(N, U, F)`` / ``(B, N, U, F)``).  Scaling in, model forward under
-        :class:`repro.tensor.inference_mode`, inverse scaling out.
+        (``(N, U, F)`` / ``(B, N, U, F)``).  Delegates to the artifact's
+        :class:`repro.exec.InferenceExecutor`: scaling in, graph-free
+        forward under :class:`repro.tensor.inference_mode`, inverse scaling
+        out.
         """
-        window = np.asarray(window, dtype=np.float64)
-        squeeze = window.ndim == 3
-        if squeeze:
-            window = window[None]
-        if window.ndim != 4 or window.shape[2] != self.history:
-            raise ValueError(
-                f"expected (B, N, {self.history}, F) window, got shape {window.shape}"
-            )
-        scaled = self.scaler.transform(window)
-        with inference_mode():
-            forecast = self.model(Tensor(scaled)).numpy()
-        forecast = self.scaler.inverse_transform(forecast)
-        return forecast[0] if squeeze else forecast
+        return self.executor.predict(None, window)
 
     def save(self, path: PathLike, **kwargs) -> Path:
         """Persist this artifact via :func:`save_artifact`."""

@@ -33,9 +33,9 @@ from typing import Optional
 import numpy as np
 
 from ..baselines.classical import PersistenceForecaster
+from ..exec import InferenceExecutor
 from ..obs import MetricsSink, NullSink, SafeSink
 from ..resilience import CircuitBreaker
-from ..tensor import Tensor, inference_mode
 from .artifact import ForecasterArtifact
 from .batcher import MicroBatcher
 from .cache import PredictionCache
@@ -100,13 +100,20 @@ class ServingEngine:
             failure_threshold=self.config.failure_threshold,
             cooldown_s=self.config.cooldown_s,
         )
-        self._fallback_model = PersistenceForecaster(artifact.history, artifact.horizon)
+        # degraded path: a persistence forecast through its own inference
+        # executor — raw units in/out, no scaler, and never the model
+        self._fallback_executor = InferenceExecutor(
+            PersistenceForecaster(artifact.history, artifact.horizon),
+            history=artifact.history,
+        ).open()
         self.sink: MetricsSink = (
             NullSink() if self.config.sink is None else SafeSink(self.config.sink)
         )
         self._observed = self.config.sink is not None
+        # the batcher's forward is the artifact's InferenceExecutor — the
+        # same repro.exec seam the Trainer trains and evaluates through
         self.batcher = MicroBatcher(
-            self.artifact.predict,
+            self._predict_batch,
             max_batch_size=self.config.max_batch_size,
             max_wait_s=self.config.max_wait_ms / 1e3,
             on_batch=self._record_batch,
@@ -187,10 +194,13 @@ class ServingEngine:
 
         return fill
 
+    def _predict_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Micro-batched model forward through the artifact's executor."""
+        return self.artifact.executor.predict(None, windows)
+
     def _fallback(self, window: np.ndarray) -> np.ndarray:
         """Classical persistence forecast in raw units (never the model)."""
-        with inference_mode():
-            return self._fallback_model(Tensor(window[None])).numpy()[0]
+        return self._fallback_executor.predict(None, window)
 
     def _finish(
         self,
@@ -245,6 +255,7 @@ class ServingEngine:
 
     def close(self) -> None:
         self.batcher.close()
+        self._fallback_executor.close()
         self.sink.close()
 
     def __enter__(self) -> "ServingEngine":

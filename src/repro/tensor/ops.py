@@ -714,6 +714,11 @@ def set_op_trace(hook: Optional[TraceHook]) -> Optional[TraceHook]:
     return previous
 
 
+def op_trace_active() -> bool:
+    """Whether an op trace hook (``repro.obs.profile``) is installed."""
+    return _trace_hook is not None
+
+
 def set_anomaly_check(detector):
     """Install (or clear, with ``None``) the global NaN/Inf screen.
 

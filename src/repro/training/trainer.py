@@ -29,16 +29,22 @@ to disk, so:
   boundary, backs the learning rate off, and retries — bounded by
   ``max_retries`` consecutive failures.
 
-Data parallelism (see DESIGN.md "Parallel training"): with
-``TrainerConfig(n_workers=N)`` for N >= 2, every mini-batch is sharded
-across N worker processes (:mod:`repro.parallel`); the parent tree-reduces
-the shard gradients and takes one optimizer step, so optimizer state,
-checkpoints, recovery, and RNG streams all stay in-process and the features
-above compose with parallelism unchanged.  Batches are assembled in a
-background prefetch process (double-buffered shared memory) unless
-``prefetch=False``.  For models that draw no randomness in the training
-forward pass the parallel loss trajectory matches serial training to
-float64 reduction accuracy at any worker count.
+Execution (see DESIGN.md "Executor"): the loop never runs a model forward
+itself — every step goes through a :class:`repro.exec.Executor` selected
+by ``TrainerConfig(executor=ExecutorSpec(...))``.  The default is the
+in-process :class:`repro.exec.SerialExecutor`;
+``ExecutorSpec.parallel(n_workers=N)`` shards every mini-batch across N
+worker processes (:mod:`repro.parallel`) and tree-reduces the shard
+gradients, so optimizer state, checkpoints, recovery, and RNG streams all
+stay in-process and the features above compose with parallelism unchanged.
+Batches are assembled in a background prefetch process (double-buffered
+shared memory) unless ``ExecutorSpec(prefetch=False)``.  For models that
+draw no randomness in the training forward pass the parallel loss
+trajectory matches serial training to float64 reduction accuracy at any
+worker count.  Evaluation and prediction route through a
+:class:`repro.exec.InferenceExecutor` (the same graph-free fast path the
+serving plane uses).  The legacy ``TrainerConfig(n_workers=N)`` spelling
+still works for one release and emits a :class:`DeprecationWarning`.
 
 Scaling convention: models operate in z-scored space; the loss compares
 against scaled targets while reported metrics are computed in raw units via
@@ -49,22 +55,22 @@ the masked Huber loss and masked metrics automatically.
 from __future__ import annotations
 
 import time
+import warnings
 from collections import deque
-from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..core.loss import STWALoss
 from ..data.datasets import TrafficDataset
 from ..data.windows import BatchIterator, SlidingWindowDataset, WindowSpec
+from ..exec import ExecutorSpec, InferenceExecutor, make_executor
 from ..nn import Module
 from ..obs import MetricsSink, NullSink, SafeSink
-from ..optim import Adam, EarlyStopping, all_reduce_gradients, clip_grad_norm
+from ..optim import Adam, EarlyStopping, clip_grad_norm
 from ..resilience.recovery import LossExplosionError, RecoveryPolicy
-from ..tensor import NumericalAnomalyError, Tensor, detect_anomaly, no_grad
+from ..tensor import NumericalAnomalyError
 from . import checkpoint as checkpoint_module
 from . import metrics as metrics_module
 
@@ -96,10 +102,12 @@ class TrainerConfig:
     detect_anomaly: bool = False  # per-op NaN/Inf screening (slow; debugging)
     recovery: Optional[RecoveryPolicy] = None  # rollback/retry on divergence
     batch_hook: Optional[object] = None  # fault injection (resilience.faults)
-    # --- data parallelism (repro.parallel; see DESIGN.md) --------------- #
-    n_workers: int = 0  # >= 2 shards every batch across worker processes
-    parallel_start_method: Optional[str] = None  # fork | spawn | None (auto)
-    prefetch: bool = True  # assemble batches in a background process (parallel only)
+    # --- execution backend (repro.exec; see DESIGN.md "Executor") ------- #
+    executor: Optional[ExecutorSpec] = None  # None -> serial in-process
+    # --- deprecated spellings of executor= (one release of grace) ------- #
+    n_workers: int = 0  # DEPRECATED: use executor=ExecutorSpec.parallel(...)
+    parallel_start_method: Optional[str] = None  # DEPRECATED: ExecutorSpec.start_method
+    prefetch: bool = True  # DEPRECATED: ExecutorSpec.prefetch
 
 
 @dataclass
@@ -162,18 +170,61 @@ class Trainer:
             NullSink() if self.config.sink is None else SafeSink(self.config.sink)
         )
         self._observed = self.config.sink is not None  # skip event building when off
-        self.loss_fn = STWALoss(delta=self.config.huber_delta, kl_weight=self.config.kl_weight)
         # non-learned baselines (persistence, fitted VAR) have no parameters
         parameters = model.parameters()
         self.optimizer = Adam(parameters, lr=self.config.lr) if parameters else None
         self._rng = np.random.default_rng(self.config.seed)
         self._recent_losses: deque = deque(maxlen=25)
-        self._pool = None  # lazy repro.parallel.WorkerPool (n_workers >= 2)
+        self.executor_spec = self._resolve_executor_spec(self.config)
+        self.executor = make_executor(
+            model,
+            self.executor_spec,
+            huber_delta=self.config.huber_delta,
+            kl_weight=self.config.kl_weight,
+            seed=self.config.seed,
+        )
+        # evaluation/prediction share the serving plane's graph-free fast
+        # path; inputs are already in scaled model space, so no scaler.
+        # Resource-free, so it can stay open for the trainer's lifetime.
+        self._infer = InferenceExecutor(model).open()
         self._windows = {
             "train": SlidingWindowDataset(dataset.train, spec, raw=dataset.train_raw),
             "val": SlidingWindowDataset(dataset.val, spec, raw=dataset.val_raw),
             "test": SlidingWindowDataset(dataset.test, spec, raw=dataset.test_raw),
         }
+
+    @staticmethod
+    def _resolve_executor_spec(cfg: TrainerConfig) -> ExecutorSpec:
+        """Map the config onto an :class:`ExecutorSpec`, legacy knobs included."""
+        spec = cfg.executor
+        if spec is None:
+            if cfg.n_workers >= 2:
+                warnings.warn(
+                    "TrainerConfig(n_workers=...) is deprecated; pass "
+                    "executor=ExecutorSpec.parallel(n_workers=...) instead",
+                    DeprecationWarning,
+                    stacklevel=4,
+                )
+                return ExecutorSpec.parallel(
+                    n_workers=cfg.n_workers,
+                    start_method=cfg.parallel_start_method,
+                    prefetch=cfg.prefetch,
+                    detect_anomaly=cfg.detect_anomaly,
+                )
+            return ExecutorSpec.serial(detect_anomaly=cfg.detect_anomaly)
+        if spec.kind == "inference":
+            raise ValueError(
+                "TrainerConfig(executor=...) must be a serial or parallel spec; "
+                "an inference executor cannot train"
+            )
+        if cfg.n_workers:
+            raise ValueError(
+                "pass either TrainerConfig(executor=...) or the deprecated "
+                "n_workers=, not both"
+            )
+        if cfg.detect_anomaly and not spec.detect_anomaly:
+            spec = spec.with_overrides(detect_anomaly=True)
+        return spec
 
     # ------------------------------------------------------------------ #
     def fit(self, resume_from: Optional[PathLike] = None) -> TrainingHistory:
@@ -193,6 +244,7 @@ class Trainer:
         start_epoch = 0
         if resume_from is not None:
             best_state, start_epoch = self._restore_checkpoint(resume_from, history, stopper)
+        self.executor.open()  # workers spawn here for the parallel backend
         iterator = self._train_iterator()
         if self._observed:
             self.sink.emit(
@@ -205,7 +257,8 @@ class Trainer:
                     "lr": cfg.lr,
                     "seed": cfg.seed,
                     "start_epoch": start_epoch,
-                    "n_workers": cfg.n_workers,
+                    "executor": self.executor_spec.kind,
+                    "n_workers": self.executor_spec.n_workers,
                     "time": time.time(),
                 }
             )
@@ -259,7 +312,7 @@ class Trainer:
                     break
                 epoch += 1
         finally:
-            self._close_pool()
+            self.executor.close()
         history.best_epoch = stopper.best_epoch
         self.model.load_state_dict(best_state)
         if self._observed:
@@ -341,75 +394,16 @@ class Trainer:
         return float(val["mae"]), should_stop
 
     def _train_step(self, x_batch: np.ndarray, y_raw: np.ndarray, epoch: int, batch_index: int) -> tuple:
-        """One optimizer step; returns ``(loss, pre-clip grad norm)``."""
-        cfg = self.config
-        if cfg.n_workers >= 2:
-            value = self._parallel_forward_backward(x_batch, y_raw)
-        else:
-            value = self._serial_forward_backward(x_batch, y_raw)
-        return value, self._apply_gradients(epoch, batch_index)
+        """One optimizer step; returns ``(loss, pre-clip grad norm)``.
 
-    def _serial_forward_backward(self, x_batch: np.ndarray, y_raw: np.ndarray) -> float:
-        """In-process forward/backward; leaves gradients on the parameters."""
-        cfg = self.config
-        scaled_target = Tensor(self.dataset.scaler.transform(y_raw))
-        self.optimizer.zero_grad()
-        guard = detect_anomaly() if cfg.detect_anomaly else nullcontext()
-        with guard:
-            prediction = self.model(Tensor(x_batch))
-            loss = self.loss_fn(prediction, scaled_target, model=_kl_capable(self.model))
-            value = float(loss.item())
-            if not np.isfinite(value):
-                raise FloatingPointError(
-                    f"training diverged: loss became {value}; lower the learning "
-                    "rate or tighten grad_clip"
-                )
-            loss.backward()
-        return value
-
-    def _parallel_forward_backward(self, x_batch: np.ndarray, y_raw: np.ndarray) -> float:
-        """Sharded forward/backward on the worker pool (repro.parallel).
-
-        Ships the current weights through the checkpoint codec, scatters
-        the batch, and tree-reduces the shard gradients into the parent's
-        parameters so the subsequent clip/step path is identical to serial
-        training.  The combined loss is the shard-weight-weighted mean —
-        exactly the value the serial loss would have produced (see
-        :mod:`repro.optim.allreduce` for the math).
+        The forward/backward itself is the executor's job (serial or
+        sharded — the trainer cannot tell); clipping, fault hooks, and the
+        optimizer step stay here so optimizer state never leaves the
+        parent process.
         """
-        from ..obs import current_profiler
-        from ..parallel import shard_batch
-
-        pool = self._ensure_pool()
         scaled_target = self.dataset.scaler.transform(y_raw)
-        self.optimizer.zero_grad()
-        serialize_start = time.perf_counter()
-        weights_blob = checkpoint_module.dumps_state_dict(self.model.state_dict())
-        serialize_seconds = time.perf_counter() - serialize_start
-        shards = shard_batch(x_batch, scaled_target, pool.n_workers)
-        results = pool.train_step(weights_blob, shards)
-        reduce_start = time.perf_counter()
-        total = all_reduce_gradients(
-            self.optimizer.parameters,
-            [result.grads for result in results],
-            [result.weight for result in results],
-        )
-        value = float(
-            np.sum([result.weight * result.loss for result in results]) / total
-        )
-        reduce_seconds = time.perf_counter() - reduce_start
-        profiler = current_profiler()
-        if profiler is not None:
-            profiler.record_parallel("serialize", serialize_seconds)
-            profiler.record_parallel("reduce", reduce_seconds)
-            for result in results:
-                profiler.record_parallel(f"worker{result.worker_id}", result.seconds)
-        if not np.isfinite(value):
-            raise FloatingPointError(
-                f"training diverged: loss became {value}; lower the learning "
-                "rate or tighten grad_clip"
-            )
-        return value
+        result = self.executor.train_step(None, (x_batch, scaled_target))
+        return result.loss, self._apply_gradients(epoch, batch_index)
 
     def _apply_gradients(self, epoch: int, batch_index: int) -> float:
         """Fault hooks, clipping, non-finite guard, optimizer step."""
@@ -434,54 +428,16 @@ class Trainer:
                 after_batch(self, epoch, batch_index)
         return grad_norm
 
-    # ------------------------------------------------------------------ #
-    # data parallelism: pool and iterator plumbing (repro.parallel)
-    # ------------------------------------------------------------------ #
     def _train_iterator(self):
-        """The training-batch source; prefetched when running parallel."""
+        """The training-batch source; the executor picks plain vs prefetched."""
         cfg = self.config
-        if cfg.n_workers >= 2 and cfg.prefetch:
-            from ..parallel import PrefetchingBatchIterator
-
-            return PrefetchingBatchIterator(
-                self._windows["train"],
-                batch_size=cfg.batch_size,
-                shuffle=True,
-                rng=self._rng,
-                max_batches=cfg.max_batches_per_epoch,
-                start_method=cfg.parallel_start_method,
-            )
-        return BatchIterator(
+        return self.executor.make_batch_iterator(
             self._windows["train"],
             batch_size=cfg.batch_size,
             shuffle=True,
             rng=self._rng,
             max_batches=cfg.max_batches_per_epoch,
         )
-
-    def _ensure_pool(self):
-        """Start the worker pool on first use (model pickled exactly once)."""
-        if self._pool is None:
-            from ..parallel import ParallelConfig, WorkerPool
-
-            cfg = self.config
-            self._pool = WorkerPool(
-                self.model,
-                ParallelConfig(
-                    n_workers=cfg.n_workers,
-                    start_method=cfg.parallel_start_method,
-                    detect_anomaly=cfg.detect_anomaly,
-                    seed=cfg.seed,
-                ),
-                huber_delta=cfg.huber_delta,
-                kl_weight=cfg.kl_weight,
-            )
-        return self._pool
-
-    def _close_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
 
     # ------------------------------------------------------------------ #
     # resilience: state capture / restore / persistence
@@ -615,8 +571,6 @@ class Trainer:
         """Raw-unit MAE/RMSE/MAPE over ``split`` (NaN targets are masked)."""
         if split not in self._windows:
             raise KeyError(f"split must be one of {sorted(self._windows)}")
-        was_training = self.model.training
-        self.model.eval()
         predictions, targets = [], []
         iterator = BatchIterator(
             self._windows[split],
@@ -624,14 +578,10 @@ class Trainer:
             shuffle=False,
             max_batches=max_batches,
         )
-        try:
-            with no_grad():
-                for x_batch, y_raw in iterator:
-                    prediction = self.model(Tensor(x_batch)).numpy()
-                    predictions.append(self.dataset.scaler.inverse_transform(prediction))
-                    targets.append(y_raw)
-        finally:
-            self.model.train(was_training)
+        for x_batch, y_raw in iterator:
+            prediction = self._infer.predict(None, x_batch)
+            predictions.append(self.dataset.scaler.inverse_transform(prediction))
+            targets.append(y_raw)
         prediction = np.concatenate(predictions)
         target = np.concatenate(targets)
         return metrics_module.evaluate_all(prediction, target)
@@ -639,18 +589,9 @@ class Trainer:
     def predict(self, x_batch: np.ndarray) -> np.ndarray:
         """Forecast raw-unit values for a scaled input batch (eval mode).
 
-        Dropout and latent sampling are off for the forward pass; the
-        model's previous train/eval mode is restored afterward.
+        Runs through the trainer's :class:`repro.exec.InferenceExecutor`
+        (graph-free forward, dropout and latent sampling off); the model's
+        previous train/eval mode is restored afterward.
         """
-        was_training = self.model.training
-        self.model.eval()
-        try:
-            with no_grad():
-                scaled = self.model(Tensor(x_batch)).numpy()
-        finally:
-            self.model.train(was_training)
+        scaled = self._infer.predict(None, x_batch)
         return self.dataset.scaler.inverse_transform(scaled)
-
-
-def _kl_capable(model: Module):
-    return model if hasattr(model, "kl_divergence") else None

@@ -1,0 +1,248 @@
+"""Executor conformance suite (repro.exec).
+
+Every executor — serial, parallel, inference — must honor one contract:
+the open/close lifecycle state machine, ``train_step`` leaving gradients
+on the model, ``predict`` returning the eval-mode forward.  The headline
+checks: serial and parallel executors produce identical losses and
+gradients (1e-6 rtol) on a fixed seeded batch, and all three produce
+identical predictions from the same weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_deterministic_st_wa
+from repro.data import WindowSpec
+from repro.data.windows import BatchIterator, SlidingWindowDataset
+from repro.exec import (
+    EXECUTOR_KINDS,
+    ExecutorError,
+    ExecutorSpec,
+    ExecutorStateError,
+    InferenceExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    StepResult,
+    make_executor,
+)
+from repro.training import Trainer, TrainerConfig
+
+SPEC = WindowSpec(12, 12)
+RTOL = 1e-6
+
+
+def small_model(num_sensors: int, seed: int = 0):
+    return make_deterministic_st_wa(
+        num_sensors, model_dim=8, skip_dim=8, predictor_hidden=16, seed=seed
+    )
+
+
+def make_exec(kind: str, tiny_dataset):
+    model = small_model(tiny_dataset.num_sensors)
+    if kind == "serial":
+        return SerialExecutor(model)
+    if kind == "parallel":
+        return ParallelExecutor(model, n_workers=2)
+    return InferenceExecutor(model)
+
+
+@pytest.fixture(scope="module")
+def seeded_batch(tiny_dataset):
+    windows = SlidingWindowDataset(tiny_dataset.train, SPEC, raw=tiny_dataset.train_raw)
+    iterator = BatchIterator(windows, batch_size=8, shuffle=False)
+    x, y_raw = next(iter(iterator))
+    return x, tiny_dataset.scaler.transform(y_raw)
+
+
+# --------------------------------------------------------------------- #
+# lifecycle: one state machine for every implementation
+# --------------------------------------------------------------------- #
+class TestLifecycle:
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    def test_step_before_open_raises(self, kind, tiny_dataset, seeded_batch):
+        executor = make_exec(kind, tiny_dataset)
+        with pytest.raises(ExecutorError):
+            executor.train_step(None, seeded_batch)
+        with pytest.raises(ExecutorStateError):
+            executor.predict(None, seeded_batch[0])
+
+    @pytest.mark.parametrize("kind", ["serial", "inference"])
+    def test_double_open_raises(self, kind, tiny_dataset):
+        executor = make_exec(kind, tiny_dataset).open()
+        try:
+            with pytest.raises(ExecutorStateError, match="already open"):
+                executor.open()
+        finally:
+            executor.close()
+
+    @pytest.mark.parametrize("kind", ["serial", "inference"])
+    def test_close_then_step_raises_and_reopen_works(
+        self, kind, tiny_dataset, seeded_batch
+    ):
+        executor = make_exec(kind, tiny_dataset).open()
+        executor.close()
+        executor.close()  # idempotent
+        with pytest.raises(ExecutorStateError, match="call open"):
+            executor.predict(None, seeded_batch[0])
+        with executor:  # reopen after close is allowed
+            executor.predict(None, seeded_batch[0])
+        assert not executor.is_open
+
+    def test_parallel_lifecycle(self, tiny_dataset, seeded_batch):
+        """Pool spawn is expensive: one test covers the parallel machine."""
+        executor = make_exec("parallel", tiny_dataset)
+        assert executor._pool is None
+        with executor:
+            assert executor._pool is not None
+            with pytest.raises(ExecutorStateError, match="already open"):
+                executor.open()
+        assert executor._pool is None
+        with pytest.raises(ExecutorStateError):
+            executor.train_step(None, seeded_batch)
+
+
+# --------------------------------------------------------------------- #
+# the equivalence gates: one step logic, many backends
+# --------------------------------------------------------------------- #
+class TestEquivalence:
+    def test_serial_and_parallel_agree_on_loss_grads_and_predictions(
+        self, tiny_dataset, seeded_batch
+    ):
+        serial = make_exec("serial", tiny_dataset).open()
+        parallel = make_exec("parallel", tiny_dataset)
+        x, y = seeded_batch
+        serial_result = serial.train_step(None, (x, y))
+        with parallel:
+            parallel_result = parallel.train_step(None, (x, y))
+            prediction = parallel.predict(None, x)
+        assert isinstance(serial_result, StepResult)
+        np.testing.assert_allclose(parallel_result.loss, serial_result.loss, rtol=RTOL)
+        assert len(serial_result.grads) == len(parallel_result.grads)
+        for left, right in zip(serial_result.grads, parallel_result.grads):
+            assert (left is None) == (right is None)
+            if left is not None:
+                np.testing.assert_allclose(right, left, rtol=RTOL, atol=1e-12)
+        np.testing.assert_array_equal(prediction, serial.predict(None, x))
+        serial.close()
+
+    def test_inference_matches_serial_predictions(self, tiny_dataset, seeded_batch):
+        x, _ = seeded_batch
+        with make_exec("serial", tiny_dataset) as serial, make_exec(
+            "inference", tiny_dataset
+        ) as inference:
+            np.testing.assert_array_equal(
+                inference.predict(None, x), serial.predict(None, x)
+            )
+
+    def test_gradients_land_on_the_model(self, tiny_dataset, seeded_batch):
+        with make_exec("serial", tiny_dataset) as executor:
+            result = executor.train_step(None, seeded_batch)
+            for grad, parameter in zip(result.grads, executor.model.parameters()):
+                assert grad is parameter.grad
+
+    def test_explicit_weights_override_model_state(self, tiny_dataset, seeded_batch):
+        x, _ = seeded_batch
+        with make_exec("serial", tiny_dataset) as executor:
+            baseline = executor.predict(None, x)
+            other = small_model(tiny_dataset.num_sensors, seed=9).state_dict()
+            changed = executor.predict(other, x)
+        assert not np.array_equal(changed, baseline)
+
+
+# --------------------------------------------------------------------- #
+# inference executors can never train
+# --------------------------------------------------------------------- #
+class TestInferenceExecutor:
+    def test_train_step_always_raises(self, tiny_dataset, seeded_batch):
+        with make_exec("inference", tiny_dataset) as executor:
+            with pytest.raises(ExecutorError, match="cannot train"):
+                executor.train_step(None, seeded_batch)
+
+    def test_history_validation(self, tiny_dataset, seeded_batch):
+        model = small_model(tiny_dataset.num_sensors)
+        executor = InferenceExecutor(model, history=SPEC.history).open()
+        x, _ = seeded_batch
+        with pytest.raises(ValueError, match="window"):
+            executor.predict(None, x[:, :, :-1])
+        executor.close()
+
+    def test_single_snapshot_keeps_rank(self, tiny_dataset, seeded_batch):
+        x, _ = seeded_batch
+        with make_exec("inference", tiny_dataset) as executor:
+            batched = executor.predict(None, x[:1])
+            single = executor.predict(None, x[0])
+        assert single.ndim == 3
+        np.testing.assert_array_equal(single, batched[0])
+
+
+# --------------------------------------------------------------------- #
+# ExecutorSpec validation + factory dispatch
+# --------------------------------------------------------------------- #
+class TestExecutorSpec:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="kind"):
+            ExecutorSpec(kind="quantum")
+
+    def test_parallel_needs_two_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ExecutorSpec.parallel(n_workers=1)
+
+    def test_workers_on_serial_raises(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ExecutorSpec(kind="serial", n_workers=2)
+
+    def test_with_overrides(self):
+        spec = ExecutorSpec.parallel(n_workers=2).with_overrides(n_workers=4)
+        assert spec.n_workers == 4 and spec.kind == "parallel"
+
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            (ExecutorSpec.serial(), SerialExecutor),
+            (ExecutorSpec.parallel(n_workers=2), ParallelExecutor),
+            (ExecutorSpec.inference(), InferenceExecutor),
+        ],
+    )
+    def test_factory_dispatch(self, spec, expected, tiny_dataset):
+        executor = make_executor(small_model(tiny_dataset.num_sensors), spec)
+        assert type(executor) is expected
+
+
+# --------------------------------------------------------------------- #
+# Trainer integration: spec resolution + the deprecation shim
+# --------------------------------------------------------------------- #
+class TestTrainerShim:
+    def test_n_workers_warns_and_builds_parallel_spec(self, tiny_dataset):
+        model = small_model(tiny_dataset.num_sensors)
+        with pytest.warns(DeprecationWarning, match="n_workers"):
+            trainer = Trainer(model, tiny_dataset, SPEC, TrainerConfig(n_workers=2))
+        assert trainer.executor_spec.kind == "parallel"
+        assert trainer.executor_spec.n_workers == 2
+        assert isinstance(trainer.executor, ParallelExecutor)
+
+    def test_default_is_serial(self, tiny_dataset):
+        model = small_model(tiny_dataset.num_sensors)
+        trainer = Trainer(model, tiny_dataset, SPEC, TrainerConfig())
+        assert trainer.executor_spec.kind == "serial"
+        assert isinstance(trainer.executor, SerialExecutor)
+
+    def test_executor_and_n_workers_together_raise(self, tiny_dataset):
+        model = small_model(tiny_dataset.num_sensors)
+        config = TrainerConfig(executor=ExecutorSpec.serial(), n_workers=2)
+        with pytest.raises(ValueError, match="not both"):
+            Trainer(model, tiny_dataset, SPEC, config)
+
+    def test_inference_spec_rejected(self, tiny_dataset):
+        model = small_model(tiny_dataset.num_sensors)
+        config = TrainerConfig(executor=ExecutorSpec.inference())
+        with pytest.raises(ValueError, match="cannot train"):
+            Trainer(model, tiny_dataset, SPEC, config)
+
+    def test_executor_closed_after_fit(self, tiny_dataset):
+        model = small_model(tiny_dataset.num_sensors)
+        config = TrainerConfig(epochs=1, max_batches_per_epoch=2, eval_batches=1)
+        trainer = Trainer(model, tiny_dataset, SPEC, config)
+        trainer.fit()
+        assert not trainer.executor.is_open

@@ -24,12 +24,9 @@ class TestRunSettings:
         with pytest.raises(KeyError):
             RunSettings.from_scope("galactic")
 
-    def test_from_env_still_works_but_warns(self, monkeypatch):
+    def test_from_env_removed(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCOPE", "quick")
-        with pytest.warns(DeprecationWarning):
-            assert RunSettings.from_env().scope == "quick"
-        monkeypatch.setenv("REPRO_SCOPE", "galactic")
-        with pytest.warns(DeprecationWarning), pytest.raises(KeyError):
+        with pytest.raises(RuntimeError, match="from_scope"):
             RunSettings.from_env()
 
     def test_with_overrides(self):

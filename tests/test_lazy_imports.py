@@ -1,0 +1,40 @@
+"""`import repro` must not drag in the serving/multiprocessing planes.
+
+``repro.serve``, ``repro.parallel``, and ``repro.harness`` resolve lazily
+via PEP 562 module ``__getattr__``; a bare ``import repro`` (the common
+case for training-only users) should never pay for them.  Checked in a
+subprocess so this test is immune to whatever the rest of the suite has
+already imported.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+CHECK = """
+import sys
+import repro
+lazy = [m for m in ("repro.serve", "repro.parallel", "repro.harness") if m in sys.modules]
+assert not lazy, f"eagerly imported: {lazy}"
+assert "repro.exec" in sys.modules  # the Executor seam is core, eager
+repro.serve  # attribute access triggers the import
+assert "repro.serve" in sys.modules
+print("ok")
+"""
+
+
+def test_import_repro_is_lazy_about_serve_and_parallel():
+    result = subprocess.run(
+        [sys.executable, "-c", CHECK], capture_output=True, text=True, timeout=120
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "ok"
+
+
+def test_dir_lists_lazy_subpackages():
+    import repro
+
+    listing = dir(repro)
+    for name in ("serve", "parallel", "harness", "exec"):
+        assert name in listing

@@ -28,6 +28,7 @@ from repro.parallel import (
     default_start_method,
     shard_batch,
 )
+from repro.exec import ExecutorSpec
 from repro.tensor import Tensor, reseed_module_generators, spawn_streams, worker_seed_sequence
 from repro.training import Trainer, TrainerConfig, dumps_state_dict, loads_state_dict
 
@@ -50,8 +51,13 @@ def parallel_trainer(tiny_dataset, n_workers: int = 0, **overrides):
         lr=6e-3,
         seed=0,
         patience=10_000,
-        n_workers=n_workers,
     )
+    prefetch = overrides.pop("prefetch", True)
+    start_method = overrides.pop("parallel_start_method", None)
+    if n_workers >= 2:
+        config["executor"] = ExecutorSpec.parallel(
+            n_workers=n_workers, prefetch=prefetch, start_method=start_method
+        )
     config.update(overrides)
     model = small_det_model(tiny_dataset.num_sensors)
     return Trainer(model, tiny_dataset, SPEC, TrainerConfig(**config))
@@ -343,7 +349,8 @@ class TestTrainerEquivalence:
     def test_pool_closed_after_fit(self, tiny_dataset):
         trainer = parallel_trainer(tiny_dataset, n_workers=2, epochs=1, max_batches_per_epoch=2)
         trainer.fit()
-        assert trainer._pool is None
+        assert not trainer.executor.is_open
+        assert trainer.executor._pool is None
 
     def test_equivalence_without_prefetch(self, tiny_dataset):
         serial = parallel_trainer(tiny_dataset, n_workers=0, epochs=2).fit()

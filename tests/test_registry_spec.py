@@ -1,4 +1,4 @@
-"""BuildSpec construction API: keyword builders, overrides, legacy shim."""
+"""BuildSpec construction API: keyword builders, overrides, legacy rejection."""
 
 from __future__ import annotations
 
@@ -9,7 +9,6 @@ import pytest
 from repro.baselines import (
     MODEL_BUILDERS,
     BuildSpec,
-    adapt_legacy_builder,
     build_from_spec,
     build_model,
     register_model,
@@ -60,44 +59,32 @@ class TestBuildSpec:
         assert model.num_parameters() < baseline.num_parameters()
 
 
-class TestLegacyShim:
+class TestLegacyRejection:
     def legacy_builder(self, ds, history, horizon, seed):
         return GRUForecaster(history, horizon, hidden_size=4, predictor_hidden=8, seed=seed)
 
-    def test_register_model_adapts_and_warns_once(self, tiny_dataset):
-        register_model("legacy-test", self.legacy_builder, family="rnn")
-        try:
-            with pytest.warns(DeprecationWarning):
-                first = build_from_spec("legacy-test", spec_for(tiny_dataset))
-            assert first.num_parameters() > 0
-            with warnings.catch_warnings():
-                warnings.simplefilter("error")  # a second warning would raise
-                second = build_from_spec("legacy-test", spec_for(tiny_dataset))
-            assert second.num_parameters() == first.num_parameters()
-        finally:
-            MODEL_BUILDERS.pop("legacy-test", None)
+    def test_register_model_rejects_positional_builder(self):
+        with pytest.raises(TypeError, match="BuildSpec"):
+            register_model("legacy-test", self.legacy_builder, family="rnn")
+        assert "legacy-test" not in MODEL_BUILDERS
 
-    def test_direct_dict_assignment_also_shimmed(self, tiny_dataset):
-        MODEL_BUILDERS["legacy-direct"] = self.legacy_builder
+    def test_error_names_the_builder(self):
+        with pytest.raises(TypeError, match="legacy-named"):
+            register_model("legacy-named", self.legacy_builder)
+
+    def test_hand_wrapped_legacy_builder_registers(self, tiny_dataset):
+        # the documented migration: close over the old callable yourself
+        register_model(
+            "legacy-wrapped",
+            lambda spec: self.legacy_builder(
+                spec.dataset, spec.history, spec.horizon, spec.seed
+            ),
+        )
         try:
-            with pytest.warns(DeprecationWarning):
-                model = build_from_spec("legacy-direct", spec_for(tiny_dataset))
+            model = build_from_spec("legacy-wrapped", spec_for(tiny_dataset))
             assert model.num_parameters() > 0
         finally:
-            MODEL_BUILDERS.pop("legacy-direct", None)
-
-    def test_adapter_passes_spec_fields_positionally(self, tiny_dataset):
-        seen = {}
-
-        def builder(ds, history, horizon, seed):
-            seen.update(ds=ds, history=history, horizon=horizon, seed=seed)
-            return GRUForecaster(history, horizon, hidden_size=4, predictor_hidden=8, seed=seed)
-
-        adapted = adapt_legacy_builder(builder)
-        with pytest.warns(DeprecationWarning):
-            adapted(spec_for(tiny_dataset, seed=9))
-        assert seen["ds"] is tiny_dataset
-        assert (seen["history"], seen["horizon"], seen["seed"]) == (HISTORY, HORIZON, 9)
+            MODEL_BUILDERS.pop("legacy-wrapped", None)
 
     def test_new_style_builder_not_wrapped(self, tiny_dataset):
         def builder(spec):
