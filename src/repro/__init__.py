@@ -27,8 +27,11 @@ Subpackages
 ``repro.resilience``
     Fault tolerance: anomaly detection, divergence recovery, fault drills.
 ``repro.exec``
-    The Executor seam: serial / parallel / inference execution backends
-    selected by ``ExecutorSpec`` (see DESIGN.md "Executor").
+    The Executor seam: serial / parallel / inference / compiled execution
+    backends selected by ``ExecutorSpec`` (see DESIGN.md "Executor").
+``repro.compile``
+    Trace-once/replay-many compiled execution: captured op streams lowered
+    to preallocated instruction programs (``ExecutorSpec(kind="compiled")``).
 ``repro.parallel``
     Multiprocess data-parallel training: worker pool, gradient all-reduce,
     shared-memory batch prefetching (``ExecutorSpec.parallel(...)``).
@@ -59,6 +62,7 @@ import importlib
 from . import (
     analysis,
     baselines,
+    compile,  # noqa: A004 - the compiled execution backend, deliberately named
     core,
     data,
     exec,  # noqa: A004 - the Executor subsystem, deliberately named
@@ -83,6 +87,7 @@ __all__ = [
     "baselines",
     "training",
     "analysis",
+    "compile",
     "exec",
     "harness",
     "obs",

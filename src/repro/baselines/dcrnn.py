@@ -89,6 +89,10 @@ class DCRNNSeq2Seq(Module):
                 and teacher_forcing > 0.0
                 and self._rng.random() < teacher_forcing
             )
+            if self.training and targets is not None and teacher_forcing > 0.0:
+                # scheduled sampling branches on an RNG draw outside the op
+                # stream — a compiled plan would freeze one branch choice
+                ops.notify_compile_unsupported("DCRNN: teacher-forcing coin flip")
             step_input = targets[:, :, t, :] if use_truth else prediction
         return ops.stack(outputs, axis=2)
 

@@ -1,0 +1,82 @@
+"""Signature-keyed LRU cache of compiled plans.
+
+One :class:`CompiledExecutor` owns two of these (train and predict).  A
+signature — step kind, train/eval mode, input shapes and dtypes — maps to
+either a live :class:`repro.compile.plan.CompiledPlan` or a *dead* marker
+recording why that signature can never be compiled (unsupported op,
+validation mismatch).  Dead entries are cached too: re-tracing a step that
+is known to fall back would pay the full interpreted step **plus** the
+capture overhead on every call.
+
+The cache is bounded (LRU eviction) so a caller cycling through many batch
+shapes — the serving micro-batcher, a bucketed loader — cannot hold an
+unbounded number of preallocated buffer arenas alive.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Bounded LRU mapping plan signatures to live plans or dead markers."""
+
+    LIVE, DEAD = "live", "dead"
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, Tuple[str, object]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, signature: Hashable) -> Optional[Tuple[str, object]]:
+        """``("live", plan)`` / ``("dead", reason)`` or ``None`` on a miss."""
+        entry = self._entries.get(signature)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(signature)
+        self.hits += 1
+        return entry
+
+    def put_live(self, signature: Hashable, plan) -> None:
+        self._put(signature, (self.LIVE, plan))
+
+    def put_dead(self, signature: Hashable, reason: str) -> None:
+        self._put(signature, (self.DEAD, reason))
+
+    def _put(self, signature: Hashable, entry: Tuple[str, object]) -> None:
+        self._entries[signature] = entry
+        self._entries.move_to_end(signature)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def live_plans(self) -> list:
+        """The cached live plans, LRU order (oldest first); dead entries skipped."""
+        return [entry for state, entry in self._entries.values() if state == self.LIVE]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, signature: Hashable) -> bool:
+        return signature in self._entries
+
+    @property
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

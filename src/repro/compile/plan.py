@@ -1,0 +1,546 @@
+"""Lowering: turn a captured op stream into a replayable linear program.
+
+``lower_training_plan`` / ``lower_predict_plan`` walk a
+:class:`repro.compile.capture.CaptureRecorder` exactly once and emit a
+:class:`CompiledPlan`:
+
+* a **node table** classifying every array in the trace as per-step input
+  (``x``/``y``, rebound by name each replay), parameter (re-read through
+  ``parameter.data`` so optimizer rebinds are seen), host input (per-step
+  RNG draw, regenerated each replay to keep the serial RNG stream), or
+  frozen constant (everything else — precomputed supports, scalars);
+* a **forward program** of build-time-specialized closures writing into
+  preallocated buffers (consecutive single-consumer elementwise ops are
+  fused into one chain instruction);
+* an **adjoint program** emitted by walking the recorded graph once in
+  reverse — assign-vs-accumulate is decided per gradient buffer at build
+  time, so replay does no tape, no graph, and no autograd bookkeeping.
+
+Anything the op stream cannot faithfully replay raises
+:class:`LoweringError` — ``where`` (its condition is Python-level data
+that would freeze one batch's mask into the plan), host inputs without a
+regeneration closure, or a training trace that never touches a parameter.
+The executor treats a :class:`LoweringError` as "this signature is
+interpreted-only" and falls back.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor.tensor import Tensor
+from .capture import CaptureRecorder, TraceRecord
+from .kernels import ADJOINT, FORWARD, FUSABLE, reduce_grad
+
+__all__ = ["CompiledPlan", "LoweringError", "lower_predict_plan", "lower_training_plan"]
+
+
+class LoweringError(RuntimeError):
+    """The captured step cannot be lowered to a replayable plan."""
+
+
+class _LoweredOp:
+    """One primitive with node-id operands and build-time static config."""
+
+    __slots__ = ("name", "ins", "out", "static")
+
+    def __init__(self, name: str, ins: Tuple[int, ...], out: int, static: dict) -> None:
+        self.name = name
+        self.ins = ins
+        self.out = out
+        self.static = static
+
+
+class _Node:
+    __slots__ = ("kind", "shape", "dtype", "requires")
+
+    def __init__(self, kind: str, shape: Tuple[int, ...], dtype, requires: bool) -> None:
+        self.kind = kind
+        self.shape = shape
+        self.dtype = dtype
+        self.requires = requires
+
+
+_REQUIRED = object()
+
+
+def _arg(args: tuple, kwargs: dict, position: int, name: str, default=_REQUIRED):
+    if position < len(args):
+        return args[position]
+    if name in kwargs:
+        return kwargs[name]
+    if default is _REQUIRED:
+        raise LoweringError(f"captured op missing argument {name!r}")
+    return default
+
+
+class CompiledPlan:
+    """A trace-once/replay-many program for one fixed-shape step."""
+
+    def __init__(
+        self,
+        slots: list,
+        input_binds: List[Tuple[int, str]],
+        param_binds: List[Tuple[int, object]],
+        host_binds: List[Tuple[Callable[[], np.ndarray], Optional[int]]],
+        forward: List[Callable[[], None]],
+        adjoint: List[Callable[[], None]],
+        output: int,
+        param_grads: List[Tuple[object, np.ndarray]],
+        stats: dict,
+    ) -> None:
+        self._slots = slots
+        self._input_binds = input_binds
+        self._param_binds = param_binds
+        self._host_binds = host_binds
+        self._forward = forward
+        self._adjoint = adjoint
+        self._output = output
+        self._param_grads = param_grads
+        self.stats = stats
+
+    def run_forward(self, bindings: Dict[str, np.ndarray]) -> np.ndarray:
+        """Replay the forward program against fresh per-step ``bindings``."""
+        slots = self._slots
+        for nid, name in self._input_binds:
+            slots[nid] = bindings[name]
+        for nid, param in self._param_binds:
+            slots[nid] = param.data
+        for regen, nid in self._host_binds:
+            # every regen runs, even for draws whose ops were pruned, so the
+            # module generators stay in lockstep with the serial trajectory
+            value = regen()
+            if nid is not None:
+                slots[nid] = value
+        for instruction in self._forward:
+            instruction()
+        return slots[self._output]
+
+    def run_adjoint(self) -> None:
+        """Replay the precomputed adjoint program (no tape, no graph)."""
+        for instruction in self._adjoint:
+            instruction()
+
+    def export_grads(self) -> None:
+        """Hand the plan-owned gradient buffers to their parameters."""
+        for param, buf in self._param_grads:
+            param.grad = buf
+
+
+class _PlanBuilder:
+    """Node table + buffer arena + assign/accumulate bookkeeping.
+
+    This is the ``ctx`` object the kernel builders in
+    :mod:`repro.compile.kernels` program against.
+    """
+
+    def __init__(self, recorder: CaptureRecorder, need_grads: bool) -> None:
+        self._recorder = recorder
+        self._need_grads = need_grads
+        self.nodes: List[_Node] = []
+        self.slots: list = []
+        self.grads: list = []
+        self._by_tensor: Dict[int, int] = {}
+        self._by_const: Dict[int, int] = {}
+        self._const_keep: list = []  # pin key arrays so ids are never recycled
+        self._by_host: Dict[int, int] = {}
+        self._grad_seen: set = set()
+        self._accum_scratch: Dict[Tuple[int, ...], np.ndarray] = {}
+        self.buffer_bytes = 0
+        self.input_binds: List[Tuple[int, str]] = []
+        self.param_binds: List[Tuple[int, object]] = []
+
+    # ------------------------------------------------------------------ #
+    # node construction
+    # ------------------------------------------------------------------ #
+    def _new_node(self, kind: str, shape, dtype, requires: bool) -> int:
+        nid = len(self.nodes)
+        self.nodes.append(_Node(kind, tuple(shape), dtype, requires))
+        self.slots.append(None)
+        self.grads.append(None)
+        return nid
+
+    def add_param(self, param) -> int:
+        nid = self._new_node(
+            "param", param.data.shape, param.data.dtype,
+            self._need_grads and bool(param.requires_grad),
+        )
+        self._by_tensor[id(param)] = nid
+        self.param_binds.append((nid, param))
+        return nid
+
+    def add_input(self, name: str, tensor) -> int:
+        nid = self._new_node("input", tensor.data.shape, tensor.data.dtype, False)
+        self._by_tensor[id(tensor)] = nid
+        self.input_binds.append((nid, name))
+        return nid
+
+    def _host_node(self, host_index: int, array: np.ndarray) -> int:
+        nid = self._by_host.get(host_index)
+        if nid is None:
+            nid = self._new_node("host", array.shape, array.dtype, False)
+            self._by_host[host_index] = nid
+        return nid
+
+    def _const_node(self, array: np.ndarray) -> int:
+        key = id(array)
+        nid = self._by_const.get(key)
+        if nid is None:
+            nid = self._new_node("const", array.shape, array.dtype, False)
+            # frozen copy: the host may reuse or mutate the original buffer
+            # (np.array, not ascontiguousarray — the latter promotes 0-d to 1-d)
+            self.slots[nid] = np.array(array)
+            self.buffer_bytes += self.slots[nid].nbytes
+            self._by_const[key] = nid
+            self._const_keep.append(array)
+        return nid
+
+    def tid(self, value) -> int:
+        """Node id for one tensorish op argument."""
+        if isinstance(value, Tensor):
+            nid = self._by_tensor.get(id(value))
+            if nid is not None:
+                return nid
+            host = self._recorder.host_index(value.data)
+            nid = self._host_node(host, value.data) if host is not None else self._const_node(value.data)
+            self._by_tensor[id(value)] = nid
+            return nid
+        if isinstance(value, np.ndarray):
+            host = self._recorder.host_index(value)
+            if host is not None:
+                return self._host_node(host, value)
+            return self._const_node(value)
+        return self._const_node(np.asarray(value, dtype=np.float64))
+
+    def add_op_out(self, out_tensor, ins: Tuple[int, ...]) -> int:
+        requires = self._need_grads and any(self.nodes[i].requires for i in ins)
+        nid = self._new_node("op", out_tensor.data.shape, out_tensor.data.dtype, requires)
+        self._by_tensor[id(out_tensor)] = nid
+        return nid
+
+    # ------------------------------------------------------------------ #
+    # kernel-builder (ctx) API
+    # ------------------------------------------------------------------ #
+    def shape(self, nid: int) -> Tuple[int, ...]:
+        return self.nodes[nid].shape
+
+    def requires(self, nid: int) -> bool:
+        return self.nodes[nid].requires
+
+    def out_buffer(self, nid: int) -> np.ndarray:
+        node = self.nodes[nid]
+        buf = np.empty(node.shape, dtype=node.dtype)
+        self.slots[nid] = buf
+        self.buffer_bytes += buf.nbytes
+        return buf
+
+    def scratch(self, shape, dtype=np.float64) -> np.ndarray:
+        buf = np.empty(shape, dtype=dtype)
+        self.buffer_bytes += buf.nbytes
+        return buf
+
+    def accum_scratch(self, shape) -> np.ndarray:
+        """Shared staging buffer for accumulate-mode contributions.
+
+        Adjoint instructions run strictly sequentially and each one consumes
+        its staging buffer before the next starts, so one scratch per shape
+        serves every accumulate site of that shape.
+        """
+        buf = self._accum_scratch.get(shape)
+        if buf is None:
+            buf = np.empty(shape, dtype=np.float64)
+            self._accum_scratch[shape] = buf
+            self.buffer_bytes += buf.nbytes
+        return buf
+
+    def grad_buffer(self, nid: int) -> np.ndarray:
+        buf = self.grads[nid]
+        if buf is None:
+            buf = np.empty(self.nodes[nid].shape, dtype=np.float64)
+            self.grads[nid] = buf
+            self.buffer_bytes += buf.nbytes
+        return buf
+
+    def mark_contribution(self, nid: int) -> bool:
+        """True for the first gradient contribution to ``nid`` (assign mode)."""
+        first = nid not in self._grad_seen
+        self._grad_seen.add(nid)
+        return first
+
+    def make_sink(self, nid: int, first: bool) -> Callable[[np.ndarray], None]:
+        buf = self.grad_buffer(nid)
+        shape = self.nodes[nid].shape
+
+        if first:
+            def sink(value: np.ndarray) -> None:
+                if value.shape != shape:
+                    value = reduce_grad(value, shape)
+                np.copyto(buf, value)
+        else:
+            def sink(value: np.ndarray) -> None:
+                if value.shape != shape:
+                    value = reduce_grad(value, shape)
+                np.add(buf, value, out=buf)
+
+        return sink
+
+
+# --------------------------------------------------------------------- #
+# per-op argument normalization: raw (args, kwargs) -> _LoweredOp
+# --------------------------------------------------------------------- #
+_BINARY = frozenset({"add", "sub", "mul", "div", "maximum", "minimum", "matmul", "dropout_mask"})
+_UNARY = frozenset({"neg", "exp", "log", "sqrt", "abs", "tanh", "sigmoid", "relu", "softplus"})
+_REDUCTIONS = frozenset({"sum", "mean", "max"})
+
+
+def _lower_record(builder: _PlanBuilder, rec: TraceRecord) -> _LoweredOp:
+    name, args, kwargs = rec.name, rec.args, rec.kwargs
+    if name == "where":
+        raise LoweringError("op 'where' has a Python-level condition the plan cannot replay")
+    out_data = rec.out.data
+
+    if name in _BINARY:
+        ins = (builder.tid(args[0]), builder.tid(args[1]))
+        static: dict = {}
+    elif name in _UNARY:
+        ins = (builder.tid(args[0]),)
+        static = {}
+    elif name == "power":
+        ins = (builder.tid(args[0]),)
+        static = {"exponent": float(_arg(args, kwargs, 1, "exponent"))}
+    elif name == "clip":
+        ins = (builder.tid(args[0]),)
+        static = {
+            "low": float(_arg(args, kwargs, 1, "low")),
+            "high": float(_arg(args, kwargs, 2, "high")),
+        }
+    elif name == "huber":
+        ins = (builder.tid(args[0]),)
+        static = {"delta": float(_arg(args, kwargs, 1, "delta", 1.0))}
+    elif name == "leaky_relu":
+        ins = (builder.tid(args[0]),)
+        static = {"negative_slope": float(_arg(args, kwargs, 1, "negative_slope", 0.01))}
+    elif name == "linear":
+        bias = _arg(args, kwargs, 2, "bias", None)
+        ins = (builder.tid(args[0]), builder.tid(args[1]))
+        if bias is not None:
+            ins = ins + (builder.tid(bias),)
+        static = {}
+    elif name == "transpose":
+        axes = _arg(args, kwargs, 1, "axes", None)
+        if axes is not None:
+            axes = tuple(int(ax) for ax in axes)
+        ins = (builder.tid(args[0]),)
+        static = {
+            "axes": axes,
+            "inverse": None if axes is None else tuple(int(ax) for ax in np.argsort(axes)),
+        }
+    elif name == "swapaxes":
+        ins = (builder.tid(args[0]),)
+        static = {
+            "axis1": int(_arg(args, kwargs, 1, "axis1")),
+            "axis2": int(_arg(args, kwargs, 2, "axis2")),
+        }
+    elif name == "reshape":
+        ins = (builder.tid(args[0]),)
+        static = {"shape": tuple(int(n) for n in out_data.shape)}
+    elif name == "getitem":
+        ins = (builder.tid(args[0]),)
+        static = {"index": _arg(args, kwargs, 1, "index")}
+    elif name == "gather":
+        a = builder.tid(args[0])
+        ndim = len(builder.shape(a))
+        axis = int(_arg(args, kwargs, 1, "axis"))
+        static = {
+            "axis": axis % ndim if ndim else 0,
+            "index": np.array(_arg(args, kwargs, 2, "index")),
+        }
+        ins = (a,)
+    elif name in ("concat", "stack"):
+        sequence = _arg(args, kwargs, 0, "tensors")
+        ins = tuple(builder.tid(t) for t in sequence)
+        axis = int(_arg(args, kwargs, 1, "axis", 0))
+        static = {"axis": axis % out_data.ndim}
+    elif name == "pad":
+        ins = (builder.tid(args[0]),)
+        pad_width = _arg(args, kwargs, 1, "pad_width")
+        static = {"pad_width": tuple((int(lo), int(hi)) for lo, hi in pad_width)}
+    elif name == "broadcast_to":
+        ins = (builder.tid(args[0]),)
+        static = {"shape": tuple(int(n) for n in out_data.shape)}
+    elif name in _REDUCTIONS:
+        axis = _arg(args, kwargs, 1, "axis", None)
+        if axis is not None:
+            axis = int(axis) if isinstance(axis, (int, np.integer)) else tuple(int(ax) for ax in axis)
+        ins = (builder.tid(args[0]),)
+        static = {"axis": axis, "keepdims": bool(_arg(args, kwargs, 2, "keepdims", False))}
+    elif name in ("softmax", "log_softmax"):
+        ins = (builder.tid(args[0]),)
+        static = {"axis": int(_arg(args, kwargs, 1, "axis", -1))}
+    else:
+        raise LoweringError(f"op {name!r} is outside the replayable set")
+    return _LoweredOp(name, ins, builder.add_op_out(rec.out, ins), static)
+
+
+def _group(fns: List[Callable[[], None]]) -> Callable[[], None]:
+    if len(fns) == 1:
+        return fns[0]
+    chain = tuple(fns)
+
+    def fused() -> None:
+        for fn in chain:
+            fn()
+
+    return fused
+
+
+def _assign_chains(kept: List[_LoweredOp], consumers: Dict[int, int]) -> List[Optional[int]]:
+    """Chain id per op: maximal runs of single-consumer fusable elementwise ops."""
+    chain_id: List[Optional[int]] = [None] * len(kept)
+    next_id = 0
+    i = 0
+    while i < len(kept):
+        if kept[i].name in FUSABLE:
+            j = i
+            while (
+                j + 1 < len(kept)
+                and kept[j + 1].name in FUSABLE
+                and consumers.get(kept[j].out, 0) == 1
+                and kept[j].out in kept[j + 1].ins
+            ):
+                j += 1
+            if j > i:
+                for k in range(i, j + 1):
+                    chain_id[k] = next_id
+                next_id += 1
+            i = j + 1
+        else:
+            i += 1
+    return chain_id
+
+
+def _lower(recorder: CaptureRecorder, output_tensor, need_grads: bool) -> CompiledPlan:
+    builder = _PlanBuilder(recorder, need_grads)
+    for param in recorder.params:
+        builder.add_param(param)
+    for input_name, tensor in recorder.inputs.items():
+        builder.add_input(input_name, tensor)
+    if need_grads and not any(builder.nodes[nid].requires for nid, _ in builder.param_binds):
+        raise LoweringError("training trace has no parameter requiring grad")
+
+    ops = [_lower_record(builder, rec) for rec in recorder.records]
+    output = builder._by_tensor.get(id(output_tensor))
+    if output is None:
+        raise LoweringError("step output was not produced by a traced op")
+
+    # prune to the ancestors of the output (capture order is a topo order)
+    needed = {output}
+    keep = [False] * len(ops)
+    for i in range(len(ops) - 1, -1, -1):
+        if ops[i].out in needed:
+            keep[i] = True
+            needed.update(ops[i].ins)
+    kept = [op for op, keeping in zip(ops, keep) if keeping]
+
+    consumers: Dict[int, int] = {}
+    for op in kept:
+        for nid in op.ins:
+            consumers[nid] = consumers.get(nid, 0) + 1
+    consumers[output] = consumers.get(output, 0) + 1
+    chain_id = _assign_chains(kept, consumers)
+
+    # forward program: build every kernel, then group fused chains
+    forward: List[Callable[[], None]] = []
+    pending: List[Callable[[], None]] = []
+    pending_chain: Optional[int] = None
+    for op, cid in zip(kept, chain_id):
+        builder_fn = FORWARD.get(op.name)
+        if builder_fn is None:
+            raise LoweringError(f"op {op.name!r} has no replay kernel")
+        fn = builder_fn(builder, op)
+        if cid is not None and cid == pending_chain:
+            pending.append(fn)
+            continue
+        if pending:
+            forward.append(_group(pending))
+        pending, pending_chain = [fn], cid
+    if pending:
+        forward.append(_group(pending))
+
+    # adjoint program: reverse walk, grouped by the same chains
+    adjoint: List[Callable[[], None]] = []
+    param_grads: List[Tuple[object, np.ndarray]] = []
+    if need_grads:
+        seed = builder.grad_buffer(output)
+        seed.fill(1.0)
+        builder.mark_contribution(output)
+        pending, pending_chain = [], None
+        for op, cid in zip(reversed(kept), reversed(chain_id)):
+            if not builder.requires(op.out):
+                continue
+            fns = ADJOINT[op.name](builder, op)
+            if not fns:
+                continue
+            if cid is not None and cid == pending_chain:
+                pending.extend(fns)
+                continue
+            if pending:
+                adjoint.append(_group(pending))
+            pending, pending_chain = list(fns), cid
+        if pending:
+            adjoint.append(_group(pending))
+        for nid, param in builder.param_binds:
+            if builder.nodes[nid].requires and builder.grads[nid] is not None:
+                param_grads.append((param, builder.grads[nid]))
+
+    host_binds: List[Tuple[Callable[[], np.ndarray], Optional[int]]] = []
+    for host_index, (_, regen) in enumerate(recorder.host_inputs):
+        if regen is None:
+            raise LoweringError("host input registered without a regeneration closure")
+        host_binds.append((regen, builder._by_host.get(host_index)))
+
+    fused_chains = len({cid for cid in chain_id if cid is not None})
+    fused_ops = sum(1 for cid in chain_id if cid is not None)
+    longest = max(Counter(cid for cid in chain_id if cid is not None).values()) if fused_chains else 0
+    stats = {
+        "ops_captured": len(recorder.records),
+        "ops_kept": len(kept),
+        "forward_instructions": len(forward),
+        "adjoint_instructions": len(adjoint),
+        "fused_chains": fused_chains,
+        "fused_ops": fused_ops,
+        "longest_chain": longest,
+        "inputs": len(builder.input_binds),
+        "params": len(builder.param_binds),
+        "consts": len(builder._by_const),
+        "host_inputs": len(host_binds),
+        "buffer_bytes": builder.buffer_bytes,
+    }
+    return CompiledPlan(
+        builder.slots,
+        builder.input_binds,
+        builder.param_binds,
+        host_binds,
+        forward,
+        adjoint,
+        output,
+        param_grads,
+        stats,
+    )
+
+
+def lower_training_plan(recorder: CaptureRecorder, loss_tensor) -> CompiledPlan:
+    """Lower one captured train step (forward + loss) to a plan with adjoints."""
+    if recorder.dead:
+        raise LoweringError(recorder.dead_reason or "capture marked unsupported")
+    return _lower(recorder, loss_tensor, need_grads=True)
+
+
+def lower_predict_plan(recorder: CaptureRecorder, output_tensor) -> CompiledPlan:
+    """Lower one captured forward pass to a replay-only plan (no adjoints)."""
+    if recorder.dead:
+        raise LoweringError(recorder.dead_reason or "capture marked unsupported")
+    return _lower(recorder, output_tensor, need_grads=False)

@@ -108,7 +108,8 @@ class FlowSTLatent(STLatent):
         if self.deterministic or not self.training:
             z0 = mu
         else:
-            eps = Tensor(self._rng.standard_normal(mu.shape))
+            draw, shape = self._rng.standard_normal, mu.shape
+            eps = Tensor(ops.notify_host_input(draw(shape), lambda: draw(shape)))
             z0 = mu + ops.sqrt(var) * eps
 
         log_q = _gaussian_log_prob(z0, mu, var)

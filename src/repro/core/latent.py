@@ -55,7 +55,8 @@ class SpatialLatent(Module):
         """Draw z ``(N, k)`` via reparameterization (mean if deterministic)."""
         if self.deterministic or not self.training:
             return self.mu
-        eps = Tensor(self._rng.standard_normal(self.mu.shape))
+        draw, shape = self._rng.standard_normal, self.mu.shape
+        eps = Tensor(ops.notify_host_input(draw(shape), lambda: draw(shape)))
         return self.mu + ops.exp(0.5 * self.log_var) * eps
 
 
@@ -102,7 +103,8 @@ class TemporalLatentEncoder(Module):
         mu_t, log_var_t = self.distribution(x)
         if self.deterministic or not self.training:
             return mu_t
-        eps = Tensor(self._rng.standard_normal(mu_t.shape))
+        draw, shape = self._rng.standard_normal, mu_t.shape
+        eps = Tensor(ops.notify_host_input(draw(shape), lambda: draw(shape)))
         return mu_t + ops.exp(0.5 * log_var_t) * eps
 
 

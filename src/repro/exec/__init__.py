@@ -16,8 +16,11 @@ serving — implements one contract:
 * :class:`ExecutorSpec` + :func:`make_executor` — declarative selection.
 
 :class:`repro.training.Trainer` and :class:`repro.serve.ServingEngine`
-both execute exclusively through this seam, so backends (a compiled
-trace-once plan, sensor sharding) land once and apply everywhere.
+both execute exclusively through this seam, so backends land once and
+apply everywhere — ``ExecutorSpec(kind="compiled")`` selects the
+trace-once/replay-many backend in :mod:`repro.compile`, which replays a
+fixed-shape step as a preallocated instruction program and transparently
+falls back to the interpreted executors when a step cannot be compiled.
 """
 
 from .base import (

@@ -21,7 +21,7 @@ from typing import Optional
 __all__ = ["EXECUTOR_KINDS", "ExecutorSpec", "make_executor"]
 
 #: the execution strategies the factory knows how to build
-EXECUTOR_KINDS = ("serial", "parallel", "inference")
+EXECUTOR_KINDS = ("serial", "parallel", "inference", "compiled")
 
 
 @dataclass(frozen=True)
@@ -34,7 +34,10 @@ class ExecutorSpec:
         ``"serial"`` — in-process forward/backward;
         ``"parallel"`` — every batch sharded across ``n_workers`` worker
         processes (:mod:`repro.parallel`), gradients tree-reduced;
-        ``"inference"`` — gradient-free prediction only (training raises).
+        ``"inference"`` — gradient-free prediction only (training raises);
+        ``"compiled"`` — trace-once/replay-many compiled plans
+        (:mod:`repro.compile`), falling back to the interpreted executors
+        for unsupported or shape-changing steps.
     n_workers / start_method / step_timeout:
         Worker-pool knobs, meaningful for ``kind="parallel"`` only.
     prefetch:
@@ -95,6 +98,10 @@ class ExecutorSpec:
     def inference(cls) -> "ExecutorSpec":
         return cls(kind="inference")
 
+    @classmethod
+    def compiled(cls, *, detect_anomaly: bool = False) -> "ExecutorSpec":
+        return cls(kind="compiled", detect_anomaly=detect_anomaly)
+
     def with_overrides(self, **changes) -> "ExecutorSpec":
         return replace(self, **changes)
 
@@ -127,6 +134,17 @@ def make_executor(
             huber_delta=huber_delta,
             kl_weight=kl_weight,
             detect_anomaly=spec.detect_anomaly,
+        )
+    if spec.kind == "compiled":
+        from repro.compile import CompiledExecutor
+
+        return CompiledExecutor(
+            model,
+            huber_delta=huber_delta,
+            kl_weight=kl_weight,
+            detect_anomaly=spec.detect_anomaly,
+            scaler=scaler,
+            history=history,
         )
     if spec.kind == "parallel":
         return ParallelExecutor(

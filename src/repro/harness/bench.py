@@ -1,7 +1,8 @@
 """``python -m repro.harness bench`` — the perf trajectory harness.
 
-Runs a fixed suite — autodiff op microbenchmarks plus one instrumented
-ST-WA smoke epoch — and writes ``BENCH_<date>.json`` with wall times,
+Runs a fixed suite — autodiff op microbenchmarks, one instrumented ST-WA
+smoke epoch, and the interpreted-vs-compiled executor comparison
+(:mod:`repro.compile`) — and writes ``BENCH_<date>.json`` with wall times,
 engine-side gradient-allocation counts (see
 :func:`repro.tensor.set_grad_alloc_hook`), and per-benchmark / per-op deltas
 against the most recent previous ``BENCH_*.json`` in the output directory.
@@ -10,7 +11,10 @@ moving pointer to the newest snapshot that tooling can read without
 globbing for dates (never used as a diff baseline).
 Committing the JSON gives every future PR a perf baseline to diff against;
 ``--check`` turns a >``--max-regression`` slowdown of the ST-WA smoke epoch
-into a nonzero exit for CI.
+— or a failed compiled-backend gate (equivalence within 1e-9 rtol over the
+optimizer-step trajectory, >=2x online-step speedup) — into a nonzero exit
+for CI.  The compiled plan/fusion/fallback breakdown additionally lands in
+``<out>/compile_profile.json`` for CI artifact upload.
 
 The suite gradient-checks every optimized fast path
 (:func:`repro.tensor.gradcheck.check_fastpath_suite`) before timing
@@ -157,6 +161,150 @@ def _st_wa_smoke(settings: RunSettings) -> Dict[str, object]:
     }
 
 
+def _compiled_bench(
+    settings: RunSettings,
+    equivalence_steps: int = 6,
+    rtol: float = 1e-9,
+    speedup_target: float = 2.0,
+) -> Dict[str, object]:
+    """Interpreted-vs-compiled comparison on the ST-WA smoke configuration.
+
+    Two phases, both on the uninstrumented interpreted path (no op-trace
+    hook — the honest baseline, not the profiled one):
+
+    * **equivalence** — two identically seeded models take
+      ``equivalence_steps`` optimizer steps (Adam + grad clipping, the
+      trainer's loop shape), one through :class:`repro.exec.SerialExecutor`
+      and one through :class:`repro.compile.CompiledExecutor`; per-step loss
+      and per-parameter gradients must agree within ``rtol``.
+    * **per-step wall** — alternating best-of-N timings at the online
+      shape (one window per step, the trace-replay target that serving
+      hits) and at the full training batch.  The ``speedup_target`` gate is
+      enforced on the online step; the training-batch delta is reported
+      alongside because at large batches the step is BLAS-bound and the
+      dispatch win shrinks — see DESIGN.md "Compiled execution".
+    """
+    from ..baselines import BuildSpec, build_from_spec
+    from ..compile import CompiledExecutor
+    from ..data import WindowSpec
+    from ..data.windows import BatchIterator, SlidingWindowDataset
+    from ..exec import ExecutorSpec, make_executor
+    from ..optim import Adam, clip_grad_norm
+    from .runner import get_dataset
+
+    dataset = get_dataset("PEMS08", settings.profile)
+    windows = SlidingWindowDataset(
+        dataset.train, WindowSpec(12, 12), raw=dataset.train_raw
+    )
+
+    def build_model():
+        return build_from_spec(
+            "st-wa", BuildSpec(dataset=dataset, history=12, horizon=12, seed=settings.seed)
+        )
+
+    def batches(batch_size: int, count: int):
+        iterator = BatchIterator(
+            windows,
+            batch_size=batch_size,
+            shuffle=False,
+            rng=np.random.default_rng(settings.seed),
+            max_batches=count,
+        )
+        return [(x, dataset.scaler.transform(y)) for x, y in iterator]
+
+    # --- phase 1: trajectory equivalence under the trainer's loop shape --- #
+    serial_model, compiled_model = build_model(), build_model()
+    serial_exec = make_executor(
+        serial_model, ExecutorSpec.serial(), huber_delta=1.0, kl_weight=0.02
+    ).open()
+    compiled_exec = CompiledExecutor(
+        compiled_model, huber_delta=1.0, kl_weight=0.02
+    ).open()
+    serial_opt = Adam(serial_model.parameters(), lr=settings.lr)
+    compiled_opt = Adam(compiled_model.parameters(), lr=settings.lr)
+    worst_loss_rel = worst_grad_rel = 0.0
+    equivalence_ok = True
+    try:
+        for x, y in batches(settings.batch_size, equivalence_steps):
+            serial_result = serial_exec.train_step(None, (x, y))
+            compiled_result = compiled_exec.train_step(None, (x, y))
+            denom = max(abs(serial_result.loss), 1e-30)
+            worst_loss_rel = max(
+                worst_loss_rel, abs(serial_result.loss - compiled_result.loss) / denom
+            )
+            equivalence_ok &= bool(
+                np.isclose(serial_result.loss, compiled_result.loss, rtol=rtol, atol=1e-12)
+            )
+            for p_serial, p_compiled in zip(
+                serial_model.parameters(), compiled_model.parameters()
+            ):
+                # gate with rtol + a tiny atol floor (pure relative error is
+                # ill-conditioned on near-zero gradient elements); the worst
+                # observed relative error stays in the report as a diagnostic
+                equivalence_ok &= bool(
+                    np.allclose(p_serial.grad, p_compiled.grad, rtol=rtol, atol=1e-12)
+                )
+                scale = np.maximum(np.abs(p_serial.grad), 1e-30)
+                worst_grad_rel = max(
+                    worst_grad_rel,
+                    float(np.max(np.abs(p_serial.grad - p_compiled.grad) / scale)),
+                )
+            clip_grad_norm(serial_model.parameters(), 5.0)
+            clip_grad_norm(compiled_model.parameters(), 5.0)
+            serial_opt.step()
+            compiled_opt.step()
+
+        # --- phase 2: per-step wall, interpreted vs compiled replay ------- #
+        timing_repeats = {"smoke": 25, "quick": 40, "standard": 60}.get(settings.scope, 25)
+        steps: Dict[str, Dict[str, float]] = {}
+        for label, batch_size, repeats in (
+            ("online", 1, timing_repeats),
+            ("train", settings.batch_size, max(timing_repeats // 3, 5)),
+        ):
+            (x, y), = batches(batch_size, 1)
+            compiled_exec.train_step(None, (x, y))  # trace outside the timed region
+            serial_best = compiled_best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                serial_exec.train_step(None, (x, y))
+                serial_best = min(serial_best, time.perf_counter() - start)
+                start = time.perf_counter()
+                compiled_exec.train_step(None, (x, y))
+                compiled_best = min(compiled_best, time.perf_counter() - start)
+            steps[label] = {
+                "batch_size": batch_size,
+                "serial_step_seconds": serial_best,
+                "compiled_step_seconds": compiled_best,
+                "speedup": serial_best / compiled_best,
+            }
+        stats = dict(compiled_exec.stats)
+        stats["train_plan_cache"] = compiled_exec.train_plans.stats
+        plans = [plan.stats for plan in compiled_exec.train_plans.live_plans()]
+    finally:
+        serial_exec.close()
+        compiled_exec.close()
+
+    speedup = steps["online"]["speedup"]
+    return {
+        "dataset": "PEMS08",
+        "model": "st-wa",
+        "equivalence": {
+            "steps": equivalence_steps,
+            "rtol": rtol,
+            "worst_loss_rel": worst_loss_rel,
+            "worst_grad_rel": worst_grad_rel,
+            "ok": equivalence_ok,
+        },
+        "steps": steps,
+        "speedup": speedup,
+        "speedup_target": speedup_target,
+        "speedup_ok": speedup >= speedup_target,
+        "ok": equivalence_ok and speedup >= speedup_target,
+        "executor_stats": stats,
+        "plans": plans,
+    }
+
+
 def _find_previous(out_dir: Path, current_name: str) -> Optional[Path]:
     """Most recent dated ``BENCH_*.json`` in ``out_dir`` other than ``current_name``.
 
@@ -206,14 +354,16 @@ def run(
         micro[name] = _time_case(build, repeats)
 
     st_wa = _st_wa_smoke(settings)
+    compiled = _compiled_bench(settings)
 
     payload: Dict[str, object] = {
-        "schema": 1,
+        "schema": 2,
         "date": date,
         "scope": settings.scope,
         "gradcheck_cases": gradcheck_cases,
         "micro": micro,
         "st_wa_smoke": st_wa,
+        "compiled": compiled,
     }
 
     previous_name = None
@@ -238,6 +388,16 @@ def run(
                 "st_wa_ops": _relative_deltas(
                     st_wa["ops"], old.get("st_wa_smoke", {}).get("ops", {})
                 ),
+                "compiled_step_seconds": _relative_deltas(
+                    {
+                        label: stats["compiled_step_seconds"]
+                        for label, stats in compiled["steps"].items()
+                    },
+                    {
+                        label: stats.get("compiled_step_seconds")
+                        for label, stats in old.get("compiled", {}).get("steps", {}).items()
+                    },
+                ),
             }
         payload["previous"] = previous_name
         payload["deltas_vs_previous"] = deltas or None
@@ -246,10 +406,20 @@ def run(
         # root-level moving pointer so tooling can read "the current perf
         # snapshot" without globbing for the newest date
         (out_path.parent / LATEST_NAME).write_text(serialized)
+        # the compiled-backend profile artifact CI uploads: plan programs,
+        # fusion stats, cache/fallback counters, per-step timings
+        (out_path / "compile_profile.json").write_text(
+            json.dumps({"date": date, "scope": settings.scope, "compiled": compiled}, indent=2)
+            + "\n"
+        )
 
     regressed = False
     wall_delta = deltas.get("st_wa_wall_seconds") if deltas else None
     if check and wall_delta is not None and wall_delta > max_regression:
+        regressed = True
+    # the compiled gates are absolute (equivalence rtol + speedup target),
+    # so they bind even on a fresh checkout with no previous BENCH file
+    if check and not compiled["ok"]:
         regressed = True
 
     headers = ["Benchmark", "Seconds", "Grad allocs", "Alloc MB", "Delta vs prev"]
@@ -275,10 +445,33 @@ def run(
             f"{wall_delta:+.1%}" if wall_delta is not None else "-",
         ]
     )
+    compiled_deltas = deltas.get("compiled_step_seconds", {}) if deltas else {}
+    for label, step in compiled["steps"].items():
+        delta = compiled_deltas.get(label)
+        rows.append(
+            [
+                f"compiled_step_{label} (bs={step['batch_size']}, {step['speedup']:.2f}x)",
+                fmt(step["compiled_step_seconds"], 5),
+                "0",
+                "0",
+                f"{delta:+.1%}" if delta is not None else "-",
+            ]
+        )
 
+    equivalence = compiled["equivalence"]
     notes = [
         f"{gradcheck_cases} fast-path gradchecks passed before timing",
         f"microbenchmarks best-of-{repeats}; ST-WA pass instrumented via repro.obs",
+        (
+            "compiled backend: "
+            f"{compiled['speedup']:.2f}x online step vs interpreted serial "
+            f"(target {compiled['speedup_target']:.1f}x, "
+            f"{'ok' if compiled['speedup_ok'] else 'FAILED'}); "
+            f"equivalence over {equivalence['steps']} optimizer steps "
+            f"worst grad rel {equivalence['worst_grad_rel']:.1e} "
+            f"(rtol {equivalence['rtol']:.0e}, "
+            f"{'ok' if equivalence['ok'] else 'FAILED'})"
+        ),
     ]
     if previous_name is not None:
         notes.append(f"deltas vs {previous_name} (negative is faster)")
@@ -287,7 +480,8 @@ def run(
     if check:
         status = "FAILED" if regressed else "ok"
         notes.append(
-            f"regression check ({max_regression:.0%} on ST-WA smoke wall): {status}"
+            f"regression check ({max_regression:.0%} on ST-WA smoke wall + "
+            f"compiled equivalence/speedup gates): {status}"
         )
 
     return TableResult(

@@ -188,6 +188,15 @@ def run(
     best_speedup = max((w["speedup"] for w in workers), default=0.0)
     enforced = cores >= 2
     speedup_ok = (not enforced) or best_speedup >= min_speedup
+    speedup_note = (
+        None
+        if enforced
+        else (
+            f"single-core host ({cores} core visible to this process): no "
+            "process placement can beat serial here, so the serial-vs-parallel "
+            "comparison is recorded but not rendered or enforced"
+        )
+    )
     report = {
         "host": {"cpu_cores": cores},
         # top-level mirrors for dashboards/jq one-liners: how much hardware
@@ -213,6 +222,8 @@ def run(
         },
         "all_passed": bool(equivalence["passed"] and speedup_ok),
     }
+    if speedup_note is not None:
+        report["speedup_note"] = speedup_note
 
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -241,14 +252,18 @@ def run(
         f"max rel diff {equivalence['max_rel_diff_train_loss']:.2e} "
         f"(rtol {EQUIVALENCE_RTOL:.0e}) -> "
         + ("PASS" if equivalence["passed"] else "FAIL"),
-        f"speedup gate >= {min_speedup:.2f}x: "
-        + (
-            f"{'PASS' if speedup_ok else 'FAIL'} (best {best_speedup:.2f}x)"
-            if enforced
-            else f"not enforced (host exposes {cores} core); best measured {best_speedup:.2f}x"
-        ),
         f"report written to {json_path}",
     ]
+    # the serial-vs-parallel comparison line only renders when the host could
+    # actually parallelize; a single-core measurement would just be noise
+    if enforced:
+        notes.insert(
+            1,
+            f"speedup gate >= {min_speedup:.2f}x: "
+            f"{'PASS' if speedup_ok else 'FAIL'} (best {best_speedup:.2f}x)",
+        )
+    else:
+        notes.insert(1, speedup_note)
     table = TableResult(
         experiment_id="parallel_bench",
         title=f"Data-parallel training: {model_name}, speedup vs workers",

@@ -10,14 +10,20 @@ engine end to end and writes ``<out>/serve_bench.json``:
 2. **Inference mode** — time the artifact's :class:`repro.tensor.
    inference_mode` forward against the same weights with autodiff graph
    construction enabled; the report records both and the speedup.
-3. **Load phase** — replay the test split as a live stream into a
+3. **Executor comparison** — serve the same request stream once through
+   the default ``inference`` backend and once through
+   ``ExecutorSpec(kind="compiled")`` (trace-once/replay-many,
+   :mod:`repro.compile`); p50/p95/p99 request latencies land side by side
+   in the report, and every SLO report event is stamped with the
+   ``executor_kind`` that produced it.
+4. **Load phase** — replay the test split as a live stream into a
    :class:`repro.serve.ServingEngine` while concurrent client threads
    request forecasts: micro-batch coalescing, cache hits on repeated
    queries, invalidation on every ingest.
-4. **Fault drill** — a forward pre-hook makes the model raise; requests
+5. **Fault drill** — a forward pre-hook makes the model raise; requests
    must degrade to the persistence fallback, the circuit breaker must open,
    and service must recover once the fault clears.
-5. **SLO gate** — p95 latency is checked against ``--slo-p95-ms``; the
+6. **SLO gate** — p95 latency is checked against ``--slo-p95-ms``; the
    subcommand exits nonzero if the SLO fails, any drill fails, or the
    cache never hit.  ``--fast`` shrinks everything to the CI budget.
 """
@@ -35,6 +41,7 @@ import numpy as np
 
 from ..baselines import BuildSpec, build_from_spec
 from ..data import WindowSpec
+from ..exec import ExecutorSpec
 from ..obs import ListSink
 from ..serve import ForecasterArtifact, ServeConfig, ServingEngine, load_artifact
 from ..tensor import Tensor
@@ -134,6 +141,56 @@ def _time_inference_vs_grad(artifact: ForecasterArtifact, window: np.ndarray, re
     }
 
 
+def _executor_comparison(artifact: ForecasterArtifact, dataset, requests: int) -> Dict:
+    """Same artifact, same request stream: inference vs compiled serving.
+
+    Each backend serves ``requests`` forecasts for *distinct* windows (so
+    the prediction cache never masks the model path) through its own
+    :class:`ServingEngine`, and the report places their p50/p95/p99 request
+    latencies side by side.  The compiled engine pays its one-off plan
+    trace during a warm-up forward issued *before* the timed requests, so
+    the quantiles compare steady-state replay against steady-state
+    ``inference_mode`` — exactly the serving regime the compiled backend
+    targets (single-window micro-batches).
+    """
+    stream = dataset.test_raw
+    backends: Dict[str, Dict] = {}
+    for spec in (ExecutorSpec.inference(), ExecutorSpec.compiled()):
+        config = ServeConfig(
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            deadline_ms=10_000.0,
+            executor=spec,
+        )
+        with ServingEngine(artifact, num_sensors=dataset.num_sensors, config=config) as engine:
+            # warm outside the stats window: the compiled path traces its
+            # plan here, the inference path warms any lazy module caches
+            engine._predict_batch(stream[None, :, :HISTORY, :])
+            for i in range(requests):
+                engine.forecast(stream[:, 1 + i : 1 + i + HISTORY, :])
+            latency = engine.snapshot()["latency"]
+            backends[spec.kind] = {
+                "executor_kind": engine.executor_kind,
+                "requests": requests,
+                "p50_ms": latency["p50_ms"],
+                "p95_ms": latency["p95_ms"],
+                "p99_ms": latency["p99_ms"],
+                "fallbacks": engine.stats.fallbacks,
+            }
+    inference_p50 = backends["inference"]["p50_ms"]
+    compiled_p50 = backends["compiled"]["p50_ms"]
+    return {
+        "requests": requests,
+        "inference": backends["inference"],
+        "compiled": backends["compiled"],
+        "p50_speedup": inference_p50 / compiled_p50 if compiled_p50 > 0 else float("inf"),
+        # informational comparison; the hard speedup gate lives in
+        # ``repro.harness bench --check``.  Serving it without a single
+        # fallback is the correctness bar here.
+        "ok": backends["compiled"]["fallbacks"] == 0 and backends["inference"]["fallbacks"] == 0,
+    }
+
+
 def _load_phase(
     engine: ServingEngine, dataset, ticks: int, clients: int, rounds_per_tick: int = 2
 ) -> Dict:
@@ -220,6 +277,7 @@ def run(
     probe = dataset.test_raw[:, :HISTORY, :]
     roundtrip = _roundtrip(artifact, dataset, ckpt_dir / "artifact.npz", probe)
     timing = _time_inference_vs_grad(artifact, probe, repeats)
+    executors = _executor_comparison(artifact, dataset, requests=5 * clients)
 
     sink = ListSink()
     config = ServeConfig(
@@ -239,7 +297,9 @@ def run(
     shutil.rmtree(ckpt_dir, ignore_errors=True)  # bench scratch, not a result
 
     cache_hit_rate = snapshot["cache_hit_rate"]
-    ok = bool(slo["ok"] and fault["ok"] and roundtrip["ok"] and cache_hit_rate > 0)
+    ok = bool(
+        slo["ok"] and fault["ok"] and roundtrip["ok"] and executors["ok"] and cache_hit_rate > 0
+    )
     report = {
         "schema": 1,
         "model": model_name,
@@ -249,6 +309,7 @@ def run(
         "train": train_info,
         "artifact": {"model_id": artifact.model_id, "roundtrip": roundtrip},
         "inference_mode": timing,
+        "executor_comparison": executors,
         "load": load,
         "fault_injection": fault,
         "serving": snapshot,
@@ -275,6 +336,15 @@ def run(
             "PASS" if timing["speedup"] > 1.0 else "FAIL",
             f"{fmt(timing['inference_ms'])} ms vs {fmt(timing['grad_ms'])} ms grad "
             f"({fmt(timing['speedup'])}x)",
+        ],
+        [
+            "executors",
+            "PASS" if executors["ok"] else "FAIL",
+            f"compiled p50/p95/p99 {fmt(executors['compiled']['p50_ms'])}/"
+            f"{fmt(executors['compiled']['p95_ms'])}/{fmt(executors['compiled']['p99_ms'])} ms "
+            f"vs inference {fmt(executors['inference']['p50_ms'])}/"
+            f"{fmt(executors['inference']['p95_ms'])}/{fmt(executors['inference']['p99_ms'])} ms "
+            f"({fmt(executors['p50_speedup'])}x p50)",
         ],
         [
             "load",

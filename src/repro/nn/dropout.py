@@ -27,6 +27,9 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
             return x
-        keep = 1.0 - self.p
-        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
-        return ops.dropout_mask(x, mask)
+        keep, rng, shape = 1.0 - self.p, self._rng, x.shape
+
+        def draw() -> np.ndarray:
+            return (rng.random(shape) < keep).astype(np.float64) / keep
+
+        return ops.dropout_mask(x, ops.notify_host_input(draw(), draw))

@@ -45,6 +45,9 @@ class BatchNorm1d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training:
+            # Running-stat updates happen outside the op stream, so a
+            # compiled replay would freeze them; keep this layer interpreted.
+            ops.notify_compile_unsupported("BatchNorm1d: running statistics update")
             reduce_axes = tuple(range(x.ndim - 1))
             batch_mean = x.data.mean(axis=reduce_axes)
             batch_var = x.data.var(axis=reduce_axes)

@@ -33,7 +33,7 @@ from typing import Optional
 import numpy as np
 
 from ..baselines.classical import PersistenceForecaster
-from ..exec import InferenceExecutor
+from ..exec import ExecutorSpec, InferenceExecutor, make_executor
 from ..obs import MetricsSink, NullSink, SafeSink
 from ..resilience import CircuitBreaker
 from .artifact import ForecasterArtifact
@@ -57,6 +57,10 @@ class ServeConfig:
     impute_method: str = "last"  # ring-buffer gap fill
     sink: Optional[MetricsSink] = None  # structured serve events (JSONL etc.)
     latency_capacity: int = 4096  # latency reservoir size
+    #: prediction backend: None -> the artifact's InferenceExecutor;
+    #: ExecutorSpec(kind="compiled") -> trace-once/replay-many plans
+    #: (repro.compile) with transparent inference_mode fallback
+    executor: Optional[ExecutorSpec] = None
 
 
 @dataclass
@@ -110,8 +114,28 @@ class ServingEngine:
             NullSink() if self.config.sink is None else SafeSink(self.config.sink)
         )
         self._observed = self.config.sink is not None
-        # the batcher's forward is the artifact's InferenceExecutor — the
-        # same repro.exec seam the Trainer trains and evaluates through
+        # the batcher's forward runs through the repro.exec seam — by
+        # default the artifact's InferenceExecutor; ServeConfig.executor
+        # swaps in another prediction backend (e.g. kind="compiled")
+        if self.config.executor is not None:
+            spec = self.config.executor
+            if spec.kind not in ("inference", "compiled"):
+                raise ValueError(
+                    "ServeConfig.executor must be an inference or compiled "
+                    f"spec, got kind={spec.kind!r}"
+                )
+            self.executor_kind = spec.kind
+            self._model_executor = make_executor(
+                artifact.model,
+                spec,
+                scaler=artifact.scaler,
+                history=artifact.history,
+            ).open()
+            self._owns_model_executor = True
+        else:
+            self.executor_kind = "inference"
+            self._model_executor = artifact.executor
+            self._owns_model_executor = False
         self.batcher = MicroBatcher(
             self._predict_batch,
             max_batch_size=self.config.max_batch_size,
@@ -195,8 +219,8 @@ class ServingEngine:
         return fill
 
     def _predict_batch(self, windows: np.ndarray) -> np.ndarray:
-        """Micro-batched model forward through the artifact's executor."""
-        return self.artifact.executor.predict(None, windows)
+        """Micro-batched model forward through the configured executor."""
+        return self._model_executor.predict(None, windows)
 
     def _fallback(self, window: np.ndarray) -> np.ndarray:
         """Classical persistence forecast in raw units (never the model)."""
@@ -216,6 +240,7 @@ class ServingEngine:
             event = {
                 "event": "request",
                 "source": source,
+                "executor_kind": self.executor_kind,
                 "latency_ms": 1e3 * latency,
                 "time": time.time(),
             }
@@ -251,10 +276,28 @@ class ServingEngine:
         snap["store"] = self.store.snapshot()
         snap["circuit"] = self.circuit.snapshot()
         snap["model_id"] = self.artifact.model_id
+        snap["executor_kind"] = self.executor_kind
         return snap
+
+    def slo_report(
+        self, p95_ms: Optional[float] = None, p99_ms: Optional[float] = None
+    ) -> dict:
+        """Latency SLO check annotated with the serving executor backend.
+
+        Delegates to :meth:`repro.serve.metrics.ServingStats.slo_report` and
+        stamps ``executor_kind`` so the report (and the mirrored sink event)
+        records *which* prediction backend produced the measured quantiles.
+        """
+        report = self.stats.slo_report(p95_ms=p95_ms, p99_ms=p99_ms)
+        report["executor_kind"] = self.executor_kind
+        if self._observed:
+            self.sink.emit({"event": "slo_report", "time": time.time(), **report})
+        return report
 
     def close(self) -> None:
         self.batcher.close()
+        if self._owns_model_executor:
+            self._model_executor.close()
         self._fallback_executor.close()
         self.sink.close()
 

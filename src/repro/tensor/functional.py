@@ -41,11 +41,7 @@ def huber_loss(prediction: ArrayLike, target: ArrayLike, delta: float = 1.0) -> 
     sensitive to outliers in the traffic data than squared error.
     """
     prediction, target = as_tensor(prediction), as_tensor(target)
-    residual = prediction - target
-    abs_residual = ops.abs(residual)
-    quadratic = 0.5 * residual * residual
-    linear = delta * (abs_residual - 0.5 * delta)
-    return ops.mean(ops.where(abs_residual.data <= delta, quadratic, linear))
+    return ops.mean(ops.huber(prediction - target, delta))
 
 
 def masked_huber_loss(
@@ -65,6 +61,11 @@ def masked_huber_loss(
     Returns a zero scalar (with zero gradients) when nothing is valid.
     """
     prediction, target = as_tensor(prediction), as_tensor(target)
+    # The NaN pattern (hence the mask, the valid count, and safe_target) is
+    # data the compiler cannot see through the op stream — it changes batch
+    # to batch at the Python level, so a captured plan would silently freeze
+    # one batch's mask.  Declare the step unreplayable.
+    ops.notify_compile_unsupported("masked_huber_loss: per-batch NaN/validity mask")
     finite = np.isfinite(target.data)
     if mask is None:
         mask_array = finite.astype(np.float64)
@@ -74,11 +75,7 @@ def masked_huber_loss(
     if valid == 0.0:
         return ops.sum(prediction * 0.0)
     safe_target = np.where(finite, target.data, 0.0)
-    residual = prediction - Tensor(safe_target)
-    abs_residual = ops.abs(residual)
-    quadratic = 0.5 * residual * residual
-    linear = delta * (abs_residual - 0.5 * delta)
-    element = ops.where(abs_residual.data <= delta, quadratic, linear)
+    element = ops.huber(prediction - Tensor(safe_target), delta)
     return ops.sum(element * Tensor(mask_array)) / valid
 
 
@@ -104,8 +101,16 @@ def reparameterize(mu: ArrayLike, log_var: ArrayLike, rng: Optional[np.random.Ge
     end-to-end training of the stochastic parameter generator.
     """
     mu, log_var = as_tensor(mu), as_tensor(log_var)
-    rng = rng if rng is not None else np.random.default_rng()
-    eps = rng.standard_normal(mu.shape)
+    # Under compile capture the noise is a per-step host input; a caller-held
+    # generator can be replayed (regen re-draws from the same stream), but
+    # anonymous default_rng noise cannot — regen=None makes the lowering pass
+    # reject the plan instead of silently freezing one step's sample.
+    if rng is not None:
+        eps = ops.notify_host_input(
+            rng.standard_normal(mu.shape), lambda: rng.standard_normal(mu.shape)
+        )
+    else:
+        eps = ops.notify_host_input(np.random.default_rng().standard_normal(mu.shape))
     sigma = ops.exp(0.5 * log_var)
     return mu + sigma * Tensor(eps)
 

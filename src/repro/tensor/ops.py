@@ -228,6 +228,29 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     return Tensor._make(out_data, (a, b), backward)
 
 
+def huber(a: ArrayLike, delta: float = 1.0) -> Tensor:
+    """Elementwise Huber penalty of a residual: quadratic inside ``delta``.
+
+    ``0.5 * a**2`` where ``|a| <= delta``, ``delta * (|a| - 0.5 * delta)``
+    outside.  The region mask is internal to the op (recomputed from the
+    input in backward), which keeps the loss a pure function of its tensor
+    arguments — unlike the old ``where(abs(a).data <= delta, ...)``
+    composite whose Python-level condition array was opaque to both the
+    trace hook and the compile capture.
+    """
+    a = as_tensor(a)
+    delta = float(delta)
+    abs_data = np.abs(a.data)
+    inside = abs_data <= delta
+    out_data = np.where(inside, (0.5 * a.data) * a.data, delta * (abs_data - 0.5 * delta))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(np.where(inside, grad * a.data, (grad * delta) * np.sign(a.data)), own=True)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
 # --------------------------------------------------------------------- #
 # activations
 # --------------------------------------------------------------------- #
@@ -737,6 +760,61 @@ def anomaly_check_active():
     return _anomaly_check
 
 
+#: a CaptureRecorder (see repro.compile.capture) or None when capture is off.
+#: Installed by CompiledExecutor around a single trace step; every traced
+#: primitive reports (name, args, kwargs, out) so the recorder can rebuild
+#: the op stream as a replayable linear program.
+_op_capture = None
+
+
+def set_op_capture(recorder):
+    """Install (or clear, with ``None``) the global op-capture recorder.
+
+    Returns the previously installed recorder so callers can restore it.
+    Capture composes with the trace hook and the anomaly screen, but it
+    does *not* see ops executed under ``inference_mode`` (the wrapper is
+    bypassed entirely there) — compiled predict traces run under
+    ``no_grad`` instead.
+    """
+    global _op_capture
+    previous = _op_capture
+    _op_capture = recorder
+    return previous
+
+
+def op_capture_active() -> bool:
+    """Whether a compile-capture recorder is installed."""
+    return _op_capture is not None
+
+
+def notify_host_input(value: np.ndarray, regen=None) -> np.ndarray:
+    """Declare ``value`` a per-step host-generated input (RNG draw, mask).
+
+    Modules that feed freshly generated NumPy arrays into traced ops each
+    step (latent noise, dropout masks) call this right after drawing.  With
+    no capture active it is a no-op returning ``value``.  Under capture the
+    recorder registers the array so the plan treats it as a per-step input
+    rather than a frozen constant; ``regen``, when given, is a closure that
+    re-draws the value from the same generator so replay reproduces the
+    serial RNG stream bit-exactly.
+    """
+    if _op_capture is not None:
+        _op_capture.record_host_input(value, regen)
+    return value
+
+
+def notify_compile_unsupported(reason: str) -> None:
+    """Declare that the current step has Python-level state the compiler
+    cannot replay (running-stat updates, data-dependent masks).
+
+    No-op unless a capture is active; under capture the recorder marks the
+    trace dead so the executor permanently falls back to the interpreted
+    path for this signature.
+    """
+    if _op_capture is not None:
+        _op_capture.mark_unsupported(reason)
+
+
 #: FLOPs per *output* element for elementwise ops (rough analytic costs;
 #: transcendentals are charged a few flops, data movement is free)
 _ELEMENTWISE_FLOPS = {
@@ -754,6 +832,7 @@ _ELEMENTWISE_FLOPS = {
     "minimum": 1.0,
     "clip": 2.0,
     "where": 1.0,
+    "huber": 4.0,
     "tanh": 6.0,
     "sigmoid": 6.0,
     "relu": 1.0,
@@ -802,8 +881,14 @@ def _traced(name: str, fn):
     def wrapper(*args, **kwargs):
         hook = _trace_hook
         anomaly = _anomaly_check
-        if (hook is None and anomaly is None) or tensor_module._inference_mode:
+        capture = _op_capture
+        if (hook is None and anomaly is None and capture is None) or tensor_module._inference_mode:
             return fn(*args, **kwargs)
+        if hook is None and anomaly is None:
+            # capture-only fast path: record the call, skip timing/screening
+            out = fn(*args, **kwargs)
+            capture.record_op(name, args, kwargs, out)
+            return out
         start = _time.perf_counter()
         out = fn(*args, **kwargs)
         if hook is not None:
@@ -834,6 +919,8 @@ def _traced(name: str, fn):
                 backward_hook(name, "backward", _time.perf_counter() - t0, 2.0 * flops, nbytes)
 
             out._backward_fn = traced_backward
+        if capture is not None:
+            capture.record_op(name, args, kwargs, out)
         return out
 
     wrapper.__name__ = fn.__name__
@@ -847,7 +934,7 @@ def _traced(name: str, fn):
 #: whose constituent primitives are traced instead
 TRACED_OPS = (
     "add", "sub", "mul", "div", "neg", "power", "exp", "log", "sqrt", "abs",
-    "maximum", "minimum", "clip", "where", "tanh", "sigmoid", "relu",
+    "maximum", "minimum", "clip", "where", "huber", "tanh", "sigmoid", "relu",
     "leaky_relu", "softplus", "matmul", "linear", "transpose", "swapaxes",
     "reshape", "getitem", "gather", "concat", "stack", "pad", "broadcast_to",
     "sum", "mean", "max", "softmax", "log_softmax", "dropout_mask",

@@ -68,6 +68,8 @@ def _global_state_leaks() -> list:
         leaks.append("op-trace hook still installed (set_op_trace)")
     if tensor_ops._anomaly_check is not None:
         leaks.append("anomaly check still installed (set_anomaly_check)")
+    if tensor_ops._op_capture is not None:
+        leaks.append("op-capture recorder still installed (set_op_capture)")
     if tensor_core._grad_alloc_hook is not None:
         leaks.append("grad-alloc hook still installed (set_grad_alloc_hook)")
     if tensor_core._grad_enabled is not True:
@@ -86,6 +88,7 @@ def _reset_global_state() -> None:
 
     tensor_ops.set_op_trace(None)
     tensor_ops.set_anomaly_check(None)
+    tensor_ops.set_op_capture(None)
     tensor_core.set_grad_alloc_hook(None)
     tensor_core._grad_enabled = True
     tensor_core._inference_mode = False

@@ -26,10 +26,24 @@ class TestBenchRun:
         path = out / "BENCH_2026-01-01.json"
         assert path.exists()
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["gradcheck_cases"] == 13
         assert payload["previous"] is None
         assert payload["deltas_vs_previous"] is None
+
+    def test_compiled_section_and_profile_artifact(self, first_run):
+        out, result = first_run
+        compiled = result.extras["payload"]["compiled"]
+        assert compiled["equivalence"]["ok"]
+        assert compiled["equivalence"]["steps"] >= 5
+        assert set(compiled["steps"]) == {"online", "train"}
+        for label in compiled["steps"].values():
+            assert label["serial_step_seconds"] > 0
+            assert label["compiled_step_seconds"] > 0
+        assert compiled["executor_stats"]["traces"] >= 1
+        assert compiled["plans"], "live plan stats expected in the profile"
+        profile = json.loads((out / "compile_profile.json").read_text())
+        assert profile["compiled"]["equivalence"]["ok"]
 
     def test_micro_suite_fixed_and_instrumented(self, first_run):
         _, result = first_run
@@ -67,7 +81,22 @@ class TestBenchRun:
         assert set(deltas["micro_seconds"]) == set(payload["micro"])
         assert isinstance(deltas["st_wa_wall_seconds"], float)
         assert deltas["st_wa_ops"], "per-op deltas vs previous BENCH expected"
+        assert set(deltas["compiled_step_seconds"]) == {"online", "train"}
         assert not result.extras["regressed"]
+
+    def test_check_fails_when_compiled_gate_fails(self, first_run, tmp_path, monkeypatch):
+        _, result = first_run
+        failing = json.loads(json.dumps(result.extras["payload"]["compiled"]))
+        failing["ok"] = False
+        failing["speedup_ok"] = False
+        monkeypatch.setattr(bench, "_compiled_bench", lambda settings: failing)
+        rerun = bench.run(
+            settings=RunSettings.from_scope("smoke"),
+            out_dir=tmp_path,
+            date="2026-01-05",
+            check=True,
+        )
+        assert rerun.extras["regressed"]
 
     def test_regression_flagged_against_faster_previous(self, tmp_path, first_run):
         out, result = first_run

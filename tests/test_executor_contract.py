@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.compile import CompiledExecutor
 from repro.core import make_deterministic_st_wa
 from repro.data import WindowSpec
 from repro.data.windows import BatchIterator, SlidingWindowDataset
@@ -45,6 +46,8 @@ def make_exec(kind: str, tiny_dataset):
         return SerialExecutor(model)
     if kind == "parallel":
         return ParallelExecutor(model, n_workers=2)
+    if kind == "compiled":
+        return CompiledExecutor(model)
     return InferenceExecutor(model)
 
 
@@ -68,7 +71,7 @@ class TestLifecycle:
         with pytest.raises(ExecutorStateError):
             executor.predict(None, seeded_batch[0])
 
-    @pytest.mark.parametrize("kind", ["serial", "inference"])
+    @pytest.mark.parametrize("kind", ["serial", "inference", "compiled"])
     def test_double_open_raises(self, kind, tiny_dataset):
         executor = make_exec(kind, tiny_dataset).open()
         try:
@@ -77,7 +80,7 @@ class TestLifecycle:
         finally:
             executor.close()
 
-    @pytest.mark.parametrize("kind", ["serial", "inference"])
+    @pytest.mark.parametrize("kind", ["serial", "inference", "compiled"])
     def test_close_then_step_raises_and_reopen_works(
         self, kind, tiny_dataset, seeded_batch
     ):
@@ -203,6 +206,7 @@ class TestExecutorSpec:
             (ExecutorSpec.serial(), SerialExecutor),
             (ExecutorSpec.parallel(n_workers=2), ParallelExecutor),
             (ExecutorSpec.inference(), InferenceExecutor),
+            (ExecutorSpec.compiled(), CompiledExecutor),
         ],
     )
     def test_factory_dispatch(self, spec, expected, tiny_dataset):

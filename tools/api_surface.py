@@ -27,6 +27,7 @@ from pathlib import Path
 PUBLIC_MODULES = (
     "repro.analysis",
     "repro.baselines",
+    "repro.compile",
     "repro.core",
     "repro.data",
     "repro.exec",
