@@ -37,11 +37,15 @@ Subpackages
     shared-memory batch prefetching (``ExecutorSpec.parallel(...)``).
 ``repro.serve``
     Online inference: artifacts, micro-batching, caching, latency SLOs.
+``repro.fleet``
+    Zero-downtime model lifecycle: versioned artifact registry,
+    multi-tenant routing with admission control, hot swap / shadow / A/B
+    deployment, drift-triggered retraining.
 
-``repro.serve``, ``repro.parallel``, and ``repro.harness`` are imported
-lazily (PEP 562): ``import repro`` does not pay for — or spawn anything on
-behalf of — the serving or multiprocessing planes until first attribute
-access.
+``repro.serve``, ``repro.fleet``, ``repro.parallel``, and
+``repro.harness`` are imported lazily (PEP 562): ``import repro`` does not
+pay for — or spawn anything on behalf of — the serving or multiprocessing
+planes until first attribute access.
 
 Quickstart
 ----------
@@ -75,8 +79,9 @@ from . import (
 )
 
 #: subpackages resolved on first attribute access (PEP 562): harness pulls
-#: in serve (serve_bench), and serve/parallel touch multiprocessing
-_LAZY_SUBPACKAGES = ("harness", "parallel", "serve")
+#: in serve (serve_bench), fleet sits on serve, and serve/parallel touch
+#: multiprocessing
+_LAZY_SUBPACKAGES = ("fleet", "harness", "parallel", "serve")
 
 __all__ = [
     "tensor",
@@ -89,6 +94,7 @@ __all__ = [
     "analysis",
     "compile",
     "exec",
+    "fleet",
     "harness",
     "obs",
     "parallel",

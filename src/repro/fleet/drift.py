@@ -1,0 +1,125 @@
+"""Residual drift detection over the live stream.
+
+Traffic dynamics move under a deployed model (Cirstea et al.'s own premise:
+distinct, *time-varying* per-location dynamics), so the fleet watches the
+one-step-ahead residual of every tenant: each stream tick, the router
+compares the newly observed values against the first horizon step the live
+model forecast for that tick and feeds the mean absolute residual to a
+:class:`DriftDetector`.
+
+The detector establishes its **promotion-time baseline** from the first
+``calibration`` residuals after (re)deployment — the error level the model
+earned when it was validated and promoted — then keeps a rolling window of
+recent residuals.  When the rolling mean exceeds ``factor`` times the
+baseline (with at least ``min_samples`` in the window), the detector trips
+exactly once per deployment; :meth:`DriftDetector.reset` rearms it after a
+swap installs retrained weights.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """Knobs of the rolling-residual drift trigger."""
+
+    window: int = 20  # rolling residual window length
+    calibration: int = 20  # post-promotion samples forming the baseline
+    factor: float = 1.5  # rolling MAE > factor * baseline -> drift
+    min_samples: int = 5  # window occupancy before the trigger is armed
+    min_baseline: float = 1e-8  # floor so a perfect model can still drift
+
+    def __post_init__(self):
+        if self.window < 1 or self.calibration < 1:
+            raise ValueError("window and calibration must be >= 1")
+        if self.factor <= 1.0:
+            raise ValueError("factor must be > 1")
+        if not 1 <= self.min_samples <= self.window:
+            raise ValueError("min_samples must be in [1, window]")
+
+
+class DriftDetector:
+    """Rolling one-step-ahead residual error vs. a promotion-time baseline.
+
+    Not thread-safe on its own; the router serializes :meth:`record` calls
+    under the owning tenant's lock.
+    """
+
+    def __init__(self, policy: Optional[DriftPolicy] = None, baseline: Optional[float] = None):
+        self.policy = policy or DriftPolicy()
+        self._explicit_baseline = baseline
+        self.reset(baseline)
+
+    def reset(self, baseline: Optional[float] = None) -> None:
+        """Rearm after a (re)deployment; ``baseline=None`` recalibrates."""
+        self.baseline: Optional[float] = baseline
+        self._calibration: deque = deque(maxlen=self.policy.calibration)
+        self._window: deque = deque(maxlen=self.policy.window)
+        self.samples = 0
+        self.drifted = False
+
+    # ------------------------------------------------------------------ #
+    def record(self, residual: float) -> bool:
+        """Feed one mean-absolute residual; returns True on the trip edge.
+
+        While the baseline is still calibrating, samples accumulate there;
+        once it is set, samples enter the rolling window and the trigger is
+        evaluated.  After tripping, further samples keep updating the
+        rolling statistics but never re-trip until :meth:`reset`.
+        """
+        residual = float(residual)
+        self.samples += 1
+        if self.baseline is None:
+            self._calibration.append(residual)
+            if len(self._calibration) >= self.policy.calibration:
+                self.baseline = float(
+                    sum(self._calibration) / len(self._calibration)
+                )
+            return False
+        self._window.append(residual)
+        if self.drifted or len(self._window) < self.policy.min_samples:
+            return False
+        if self.rolling_mean > self.policy.factor * self.effective_baseline:
+            self.drifted = True
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def calibrated(self) -> bool:
+        return self.baseline is not None
+
+    @property
+    def effective_baseline(self) -> float:
+        base = self.baseline if self.baseline is not None else float("nan")
+        return max(base, self.policy.min_baseline)
+
+    @property
+    def rolling_mean(self) -> float:
+        if not self._window:
+            return float("nan")
+        return float(sum(self._window) / len(self._window))
+
+    def check(self) -> Dict[str, object]:
+        """JSON-able verdict: baseline, rolling error, ratio, drifted flag."""
+        rolling = self.rolling_mean
+        baseline = self.baseline
+        ratio = (
+            rolling / self.effective_baseline
+            if baseline is not None and rolling == rolling  # NaN-safe
+            else float("nan")
+        )
+        return {
+            "drifted": self.drifted,
+            "calibrated": self.calibrated,
+            "baseline": baseline,
+            "rolling_mean": rolling,
+            "ratio": ratio,
+            "samples": self.samples,
+            "window": len(self._window),
+            "factor": self.policy.factor,
+        }

@@ -1,0 +1,334 @@
+"""On-disk versioned artifact store with atomic promotion.
+
+A :class:`ModelRegistry` is the fleet's source of truth for *which* weights
+serve *which* tenant.  Layout on disk::
+
+    <root>/
+      <model_id>/                 # one directory per tenant (per-city model)
+        MANIFEST.json             # versions + live pointer + promotion log
+        v0001.npz                 # immutable serving artifacts
+        v0002.npz                 #   (repro.serve.save_artifact archives)
+
+Every manifest update is atomic (``tmp`` + :func:`os.replace`, the same
+discipline as the schema-v2 training checkpoints), so a crash mid-publish
+or mid-promote can never leave a tenant pointing at a half-written archive.
+Artifacts themselves are immutable once published: promotion and rollback
+only move the ``live`` pointer and append to the promotion log.
+
+Corrupt state diagnoses itself: a truncated or foreign ``MANIFEST.json``,
+a schema-skewed manifest, an unknown version, or a manifest entry whose
+``.npz`` vanished all raise :class:`RegistryError` naming the path and the
+found vs. expected state — mirroring the
+:class:`repro.training.CheckpointError` hardening, never a bare
+``KeyError`` three layers down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..serve.artifact import ForecasterArtifact, load_artifact
+
+PathLike = Union[str, Path]
+
+#: bump when the manifest layout changes
+MANIFEST_SCHEMA = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+
+_MODEL_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class RegistryError(ValueError):
+    """The registry is corrupt, foreign, or asked about unknown state.
+
+    Raised with the offending path and the found vs. expected condition
+    instead of the raw ``json``/``KeyError``/``FileNotFoundError`` a broken
+    store would otherwise surface.  Subclasses :class:`ValueError` so
+    generic ``except ValueError`` handling keeps working.
+    """
+
+
+def _now() -> float:
+    return time.time()
+
+
+class ModelRegistry:
+    """Versioned on-disk artifact store: publish, promote, rollback, load.
+
+    Thread-safe per instance; the manifest is re-read from disk on every
+    operation so independent processes sharing ``root`` observe each
+    other's atomically-replaced state (single-writer-per-tenant is the
+    intended discipline, as with checkpoint directories).
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # manifest plumbing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_model_id(model_id: str) -> str:
+        if not _MODEL_ID_RE.match(model_id or ""):
+            raise RegistryError(
+                f"model_id {model_id!r} is not a valid registry key "
+                "(letters, digits, '.', '_', '-'; must not start with a separator)"
+            )
+        return model_id
+
+    def _tenant_dir(self, model_id: str) -> Path:
+        return self.root / self._check_model_id(model_id)
+
+    def _manifest_path(self, model_id: str) -> Path:
+        return self._tenant_dir(model_id) / MANIFEST_NAME
+
+    def _read_manifest(self, model_id: str) -> Dict:
+        path = self._manifest_path(model_id)
+        if not path.exists():
+            raise RegistryError(
+                f"registry has no model {model_id!r} (no manifest at {path}); "
+                f"known models: {self.models()}"
+            )
+        try:
+            raw = path.read_text()
+        except OSError as error:
+            raise RegistryError(f"manifest {path} is unreadable ({error})") from error
+        try:
+            manifest = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise RegistryError(
+                f"manifest {path} is corrupt or truncated (not JSON: {error})"
+            ) from error
+        if not isinstance(manifest, dict) or "schema" not in manifest:
+            raise RegistryError(
+                f"manifest {path} is not a fleet registry manifest "
+                "(missing 'schema' discriminator)"
+            )
+        if manifest.get("schema") != MANIFEST_SCHEMA:
+            raise RegistryError(
+                f"manifest {path} has schema version {manifest.get('schema')!r}, "
+                f"expected {MANIFEST_SCHEMA}"
+            )
+        for key in ("model_id", "versions", "next_version"):
+            if key not in manifest:
+                raise RegistryError(f"manifest {path} is missing required field {key!r}")
+        return manifest
+
+    def _write_manifest(self, model_id: str, manifest: Dict) -> None:
+        """Atomically replace the manifest (tmp + ``os.replace``)."""
+        path = self._manifest_path(model_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    def _fresh_manifest(self, model_id: str) -> Dict:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "model_id": model_id,
+            "live": None,
+            "next_version": 1,
+            "versions": {},
+            "events": [],
+        }
+
+    def _entry(self, manifest: Dict, version: int) -> Dict:
+        entry = manifest["versions"].get(str(int(version)))
+        if entry is None:
+            known = sorted(int(v) for v in manifest["versions"])
+            raise RegistryError(
+                f"model {manifest['model_id']!r} has no version {version} "
+                f"(known versions: {known})"
+            )
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def models(self) -> List[str]:
+        """Tenant ids with a manifest under the registry root, sorted."""
+        return sorted(
+            p.parent.name for p in self.root.glob(f"*/{MANIFEST_NAME}")
+        )
+
+    def manifest(self, model_id: str) -> Dict:
+        """The raw (validated) manifest — a defensive copy."""
+        with self._lock:
+            return json.loads(json.dumps(self._read_manifest(model_id)))
+
+    def versions(self, model_id: str) -> List[Dict]:
+        """Version entries for ``model_id``, oldest first."""
+        manifest = self.manifest(model_id)
+        return [manifest["versions"][k] for k in sorted(manifest["versions"], key=int)]
+
+    def live_version(self, model_id: str) -> Optional[int]:
+        """The promoted version serving traffic, or None before first promote."""
+        live = self.manifest(model_id)["live"]
+        return None if live is None else int(live)
+
+    def history(self, model_id: str) -> List[Dict]:
+        """The append-only publish/promote/rollback event log."""
+        return self.manifest(model_id)["events"]
+
+    def artifact_path(self, model_id: str, version: int) -> Path:
+        """Absolute path of a version's archive; must exist on disk."""
+        with self._lock:
+            manifest = self._read_manifest(model_id)
+            entry = self._entry(manifest, version)
+        path = self._tenant_dir(model_id) / entry["file"]
+        if not path.exists():
+            raise RegistryError(
+                f"model {model_id!r} version {version} names artifact "
+                f"{entry['file']!r} but {path} does not exist "
+                "(archive deleted out from under the manifest?)"
+            )
+        return path
+
+    # ------------------------------------------------------------------ #
+    # mutations
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        model_id: str,
+        artifact: ForecasterArtifact,
+        *,
+        metrics: Optional[Dict] = None,
+        labels: Optional[Dict] = None,
+        dataset_name: Optional[str] = None,
+        dataset_profile: Optional[str] = None,
+        promote: bool = False,
+    ) -> int:
+        """Write ``artifact`` as the next version of ``model_id``.
+
+        ``metrics`` (e.g. the validation MAE the candidate earned) and
+        ``labels`` land in the manifest entry for later promotion decisions.
+        ``promote=True`` atomically makes the new version live as well.
+        Returns the assigned version number.
+        """
+        with self._lock:
+            try:
+                manifest = self._read_manifest(model_id)
+            except RegistryError:
+                if self._manifest_path(model_id).exists():
+                    raise  # corrupt, not merely absent — do not clobber it
+                manifest = self._fresh_manifest(model_id)
+            version = int(manifest["next_version"])
+            filename = f"v{version:04d}.npz"
+            artifact.save(
+                self._tenant_dir(model_id) / filename,
+                dataset_name=dataset_name,
+                dataset_profile=dataset_profile,
+            )
+            manifest["versions"][str(version)] = {
+                "version": version,
+                "file": filename,
+                "digest": artifact.model_id,
+                "model_name": artifact.model_name,
+                "created_at": _now(),
+                "metrics": dict(metrics or {}),
+                "labels": dict(labels or {}),
+            }
+            manifest["next_version"] = version + 1
+            manifest["events"].append(
+                {"action": "publish", "version": version, "time": _now()}
+            )
+            if promote:
+                manifest["live"] = version
+                manifest["events"].append(
+                    {"action": "promote", "version": version, "time": _now()}
+                )
+            self._write_manifest(model_id, manifest)
+            return version
+
+    def promote(self, model_id: str, version: int) -> Dict:
+        """Atomically point ``live`` at ``version``; returns its entry."""
+        with self._lock:
+            manifest = self._read_manifest(model_id)
+            entry = self._entry(manifest, version)
+            manifest["live"] = int(version)
+            manifest["events"].append(
+                {"action": "promote", "version": int(version), "time": _now()}
+            )
+            self._write_manifest(model_id, manifest)
+            return entry
+
+    def rollback(self, model_id: str) -> int:
+        """Re-promote the previously live version; returns it.
+
+        Walks the promotion log backwards for the last promoted version
+        distinct from the current live one — the "undo" of a bad promote.
+        """
+        with self._lock:
+            manifest = self._read_manifest(model_id)
+            live = manifest["live"]
+            if live is None:
+                raise RegistryError(
+                    f"model {model_id!r} has no live version to roll back from"
+                )
+            previous = None
+            for event in reversed(manifest["events"]):
+                if event["action"] in ("promote", "rollback") and event["version"] != live:
+                    previous = int(event["version"])
+                    break
+            if previous is None:
+                raise RegistryError(
+                    f"model {model_id!r} has no earlier promoted version to "
+                    f"roll back to (live is {live}, promotion log has no other entry)"
+                )
+            self._entry(manifest, previous)  # diagnose a pruned target early
+            manifest["live"] = previous
+            manifest["events"].append(
+                {"action": "rollback", "version": previous, "time": _now()}
+            )
+            self._write_manifest(model_id, manifest)
+            return previous
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+    def load(
+        self,
+        model_id: str,
+        version: Optional[int] = None,
+        *,
+        model=None,
+        dataset=None,
+    ) -> ForecasterArtifact:
+        """Load a version (default: the live one) as a serving artifact.
+
+        The loaded artifact is stamped with its registry identity
+        (``metadata["registry"] = {"model_id", "version"}``), which the
+        serving engine surfaces as ``artifact_version`` on SLO reports so
+        fleet A/B comparisons stay attributable.  ``model``/``dataset``
+        pass through to :func:`repro.serve.load_artifact`.
+        """
+        if version is None:
+            version = self.live_version(model_id)
+            if version is None:
+                raise RegistryError(
+                    f"model {model_id!r} has no live version "
+                    "(publish(..., promote=True) or promote() one first)"
+                )
+        path = self.artifact_path(model_id, int(version))
+        artifact = load_artifact(path, model=model, dataset=dataset)
+        expected = self._entry(self._read_manifest(model_id), int(version))["digest"]
+        if artifact.model_id != expected:
+            raise RegistryError(
+                f"model {model_id!r} version {version}: archive {path} has "
+                f"weight digest {artifact.model_id!r} but the manifest "
+                f"recorded {expected!r} (archive replaced or corrupted?)"
+            )
+        artifact.metadata["registry"] = {
+            "model_id": model_id,
+            "version": int(version),
+        }
+        return artifact

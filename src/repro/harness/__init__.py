@@ -14,7 +14,11 @@ writes ``BENCH_<date>.json`` perf snapshots.  ``chaos`` backs
 serving load benchmark (:mod:`repro.serve`) that writes
 ``serve_bench.json``.  ``parallel_bench`` backs
 ``python -m repro.harness parallel-bench`` — the data-parallel training
-gates (:mod:`repro.parallel`) that write ``parallel_bench.json``.
+gates (:mod:`repro.parallel`) that write ``parallel_bench.json`` — and
+``fleet_bench`` backs ``python -m repro.harness fleet-bench``, the model
+lifecycle benchmark (:mod:`repro.fleet`: registry, hot swap under load,
+shadow divergence, drift-triggered retrain) that writes
+``fleet_bench.json``.
 """
 
 from typing import Callable, Dict
@@ -23,6 +27,7 @@ from . import (
     attention_scaling,
     bench,
     chaos,
+    fleet_bench,
     horizon_report,
     figure9,
     figure10,
@@ -71,6 +76,7 @@ __all__ = [
     "get_dataset",
     "bench",
     "chaos",
+    "fleet_bench",
     "profile",
     "serve_bench",
     "train_and_score",

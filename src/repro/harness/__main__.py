@@ -9,6 +9,7 @@ Usage::
     python -m repro.harness chaos --fast --out results/
     python -m repro.harness serve-bench --fast --out results/
     python -m repro.harness parallel-bench --fast --out results/
+    python -m repro.harness fleet-bench --fast --out results/
 
 ``profile <model> [<model> ...]`` runs a short instrumented training pass
 and prints the top-K op/module runtime table; the full breakdown lands in
@@ -23,7 +24,11 @@ recovered; ``--fast`` shrinks it to the CI budget.  ``serve-bench`` load-
 tests the online inference engine (:mod:`repro.serve`) — micro-batching,
 prediction cache, fallback drill, latency SLOs — writes
 ``<out>/serve_bench.json``, and exits nonzero if the SLO or any drill
-fails.  Other results are printed and saved as text files under ``--out``.
+fails.  ``fleet-bench`` exercises the model-lifecycle plane
+(:mod:`repro.fleet`) — registry drill, admission control, hot swap under
+concurrent load, shadow divergence, drift-triggered retrain — writes
+``<out>/fleet_bench.json``, and exits nonzero if any lifecycle gate fails.
+Other results are printed and saved as text files under ``--out``.
 """
 
 from __future__ import annotations
@@ -33,7 +38,16 @@ import sys
 import time
 from pathlib import Path
 
-from . import EXPERIMENTS, RunSettings, bench, chaos, parallel_bench, profile, serve_bench
+from . import (
+    EXPERIMENTS,
+    RunSettings,
+    bench,
+    chaos,
+    fleet_bench,
+    parallel_bench,
+    profile,
+    serve_bench,
+)
 
 
 def main(argv=None) -> int:
@@ -64,14 +78,17 @@ def main(argv=None) -> int:
         "--fast",
         action="store_true",
         help=(
-            "chaos/serve-bench/parallel-bench: shrink the run to the CI "
-            "budget (fewer epochs/requests/workers)"
+            "chaos/serve-bench/parallel-bench/fleet-bench: shrink the run "
+            "to the CI budget (fewer epochs/requests/workers)"
         ),
     )
     parser.add_argument(
         "--model",
         default="st-wa",
-        help="chaos/serve-bench/parallel-bench: model to run against (default st-wa)",
+        help=(
+            "chaos/serve-bench/parallel-bench/fleet-bench: model to run "
+            "against (default st-wa)"
+        ),
     )
     parser.add_argument(
         "--slo-p95-ms",
@@ -136,6 +153,22 @@ def main(argv=None) -> int:
         elapsed = time.perf_counter() - start
         print(result.to_text())
         print(f"[serve-bench done in {elapsed:.1f}s]\n", flush=True)
+        result.save(out_dir)
+        return 0 if report["ok"] else 1
+
+    if args.experiments[0] == "fleet-bench":
+        if len(args.experiments) > 1:
+            parser.error("fleet-bench takes no experiment arguments")
+        start = time.perf_counter()
+        result, report = fleet_bench.run(
+            settings=settings,
+            out_dir=out_dir,
+            fast=args.fast,
+            model_name=args.model,
+        )
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[fleet-bench done in {elapsed:.1f}s]\n", flush=True)
         result.save(out_dir)
         return 0 if report["ok"] else 1
 

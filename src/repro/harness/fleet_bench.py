@@ -1,0 +1,545 @@
+"""Fleet lifecycle benchmark: the whole ``repro.fleet`` stack under fire.
+
+``python -m repro.harness fleet-bench`` exercises the model-lifecycle
+subsystem end to end and writes ``<out>/fleet_bench.json``:
+
+1. **Train** a real model (default ST-WA on PEMS08, smoke scale) exactly as
+   ``serve-bench`` does, then derive a second, weight-perturbed variant —
+   two honest, distinct artifacts to move through the lifecycle.
+2. **Registry drill** — publish both versions to a
+   :class:`repro.fleet.ModelRegistry`, promote, roll back, re-promote; load
+   the live artifact back (digest-checked) and require byte-equal
+   forecasts.
+3. **Multi-tenant routing + admission** — two city tenants on one
+   :class:`repro.fleet.FleetRouter`; a deliberately slowed primary plus a
+   tiny admission bound forces load shedding on one tenant while the other
+   stays crisp.  Every response must carry a valid ``source``.
+4. **Hot swap under load** — client threads hammer the tenant while the
+   primary is swapped v1 -> v2 mid-stream.  Gate: zero failed requests,
+   every response attributed to exactly one of the two versions, the two
+   version counts sum to the total, and post-swap traffic serves from v2.
+5. **Shadow deployment** — v1 shadows the new primary; divergence (MAE and
+   percent disagreement) must accumulate off the hot path.
+6. **Drift -> retrain -> swap** — replay a regime-shifted stream until the
+   :class:`repro.fleet.DriftDetector` trips, then let
+   :class:`repro.fleet.FleetManager` fine-tune, validate on held-back
+   windows, publish, promote, and hot-swap the winner end to end.
+
+Each phase contributes a gate; the overall ``ok`` is their conjunction and
+the subcommand exits nonzero when any gate fails.  ``--fast`` shrinks
+everything to the CI budget.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import shutil
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..data.datasets import TrafficDataset
+from ..data.scalers import StandardScaler
+from ..fleet import (
+    DriftPolicy,
+    FleetConfig,
+    FleetManager,
+    FleetRouter,
+    ModelRegistry,
+    RetrainPolicy,
+)
+from ..obs import ListSink
+from ..serve import ForecasterArtifact, ServeConfig
+from .reporting import TableResult, fmt
+from .runner import RunSettings, get_dataset
+from .serve_bench import DATASET, HISTORY, HORIZON, _train_artifact
+
+#: every response the fleet may legally return
+VALID_SOURCES = ("model", "cache", "fallback", "shed")
+
+
+def _perturbed_variant(artifact: ForecasterArtifact, scale: float = 0.05, seed: int = 1) -> ForecasterArtifact:
+    """A distinct-but-related artifact: same architecture, nudged weights.
+
+    Stands in for "the next training run's weights" so registry, shadow,
+    and A/B phases compare two genuinely different models without paying
+    for a second training loop.
+    """
+    model = copy.deepcopy(artifact.model)
+    rng = np.random.default_rng(seed)
+    for parameter in model.parameters():
+        parameter.data = parameter.data + scale * rng.standard_normal(parameter.data.shape)
+    return ForecasterArtifact(
+        model,
+        scaler=artifact.scaler,
+        model_name=artifact.model_name,
+        history=artifact.history,
+        horizon=artifact.horizon,
+        metadata={"perturbed_from": artifact.model_id, "perturb_scale": scale},
+    )
+
+
+def _drifted_dataset(dataset: TrafficDataset, shift_sigmas: float = 3.0) -> TrafficDataset:
+    """A regime-shifted copy of ``dataset``: a level shift of N train sigmas.
+
+    An additive shift (a demand surge) moves the stream outside the regime
+    the live scaler normalizes for, so a model trained on the original data
+    is genuinely miscalibrated on it — the synthetic drift scenario the
+    lifecycle must survive.  (A purely multiplicative shift is nearly
+    invisible here: standard scaling makes the model roughly
+    scale-equivariant.)  The refit scaler makes the copy a self-consistent
+    "recent data" bundle for the drift-response fine-tune.
+    """
+    shift = shift_sigmas * float(dataset.train_raw.std())
+    train_raw = dataset.train_raw + shift
+    val_raw = dataset.val_raw + shift
+    test_raw = dataset.test_raw + shift
+    scaler = StandardScaler().fit(train_raw)
+    return TrafficDataset(
+        name=dataset.name,
+        profile=dataset.profile,
+        train=scaler.transform(train_raw),
+        val=scaler.transform(val_raw),
+        test=scaler.transform(test_raw),
+        train_raw=train_raw,
+        val_raw=val_raw,
+        test_raw=test_raw,
+        scaler=scaler,
+        network=dataset.network,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# phases
+# ---------------------------------------------------------------------- #
+def _registry_drill(
+    registry: ModelRegistry,
+    model_id: str,
+    v1_artifact: ForecasterArtifact,
+    v2_artifact: ForecasterArtifact,
+    dataset: TrafficDataset,
+    window: np.ndarray,
+) -> Dict:
+    """publish x2 -> promote -> rollback -> re-promote -> digest-checked load."""
+    v1 = registry.publish(
+        model_id,
+        v1_artifact,
+        metrics={"source": "initial training"},
+        dataset_name=dataset.name,
+        dataset_profile=dataset.profile,
+        promote=True,
+    )
+    v2 = registry.publish(
+        model_id,
+        v2_artifact,
+        metrics={"source": "perturbed variant"},
+        dataset_name=dataset.name,
+        dataset_profile=dataset.profile,
+    )
+    live_after_publish = registry.live_version(model_id)
+    registry.promote(model_id, v2)
+    live_after_promote = registry.live_version(model_id)
+    rolled_back_to = registry.rollback(model_id)
+    live_after_rollback = registry.live_version(model_id)
+    registry.promote(model_id, v2)
+
+    loaded = registry.load(model_id, v1, dataset=dataset)
+    forecasts_match = bool(np.allclose(loaded.predict(window), v1_artifact.predict(window)))
+    ok = bool(
+        v1 == 1
+        and v2 == 2
+        and live_after_publish == v1  # unpromoted publish must not move live
+        and live_after_promote == v2
+        and rolled_back_to == v1
+        and live_after_rollback == v1
+        and registry.live_version(model_id) == v2
+        and loaded.model_id == v1_artifact.model_id
+        and loaded.registry_version == v1
+        and forecasts_match
+    )
+    return {
+        "versions": [v1, v2],
+        "live_after_publish": live_after_publish,
+        "live_after_promote": live_after_promote,
+        "rolled_back_to": rolled_back_to,
+        "live_after_rollback": live_after_rollback,
+        "final_live": registry.live_version(model_id),
+        "loaded_model_id_match": loaded.model_id == v1_artifact.model_id,
+        "loaded_forecast_match": forecasts_match,
+        "events": len(registry.history(model_id)),
+        "ok": ok,
+    }
+
+
+def _admission_phase(
+    router: FleetRouter,
+    dataset: TrafficDataset,
+    slow_tenant: str,
+    crisp_tenant: str,
+    clients: int,
+    rounds: int,
+) -> Dict:
+    """Overload one tenant behind a slowed model; the other must stay clean."""
+    slow_artifact = router.live_artifact(slow_tenant)
+    hook = slow_artifact.model.register_forward_pre_hook(
+        lambda module, args: time.sleep(0.03)
+    )
+    sources = {tenant: dict.fromkeys(VALID_SOURCES, 0) for tenant in (slow_tenant, crisp_tenant)}
+    invalid = 0
+    try:
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            for round_index in range(rounds):
+                tick = dataset.test_raw[:, (HISTORY + round_index) % dataset.test_raw.shape[1], :]
+                router.ingest(slow_tenant, tick)
+                router.ingest(crisp_tenant, tick)
+                futures = [
+                    pool.submit(router.forecast, slow_tenant) for _ in range(clients)
+                ] + [pool.submit(router.forecast, crisp_tenant) for _ in range(2)]
+                for future in futures:
+                    result = future.result()
+                    if result.source not in VALID_SOURCES:
+                        invalid += 1
+                    else:
+                        sources[result.model_id][result.source] += 1
+    finally:
+        hook.remove()
+    snapshot = router.snapshot()["tenants"]
+    crisp_ok = sources[crisp_tenant]["model"] + sources[crisp_tenant]["cache"] > 0
+    ok = bool(
+        invalid == 0
+        and snapshot[slow_tenant]["sheds"] > 0
+        and sources[slow_tenant]["shed"] == snapshot[slow_tenant]["sheds"]
+        and crisp_ok
+        and snapshot[crisp_tenant]["sheds"] == 0
+    )
+    return {
+        "clients": clients,
+        "rounds": rounds,
+        "sources": sources,
+        "invalid_sources": invalid,
+        "slow_tenant_sheds": snapshot[slow_tenant]["sheds"],
+        "crisp_tenant_sheds": snapshot[crisp_tenant]["sheds"],
+        "ok": ok,
+    }
+
+
+def _swap_phase(
+    router: FleetRouter,
+    registry: ModelRegistry,
+    dataset: TrafficDataset,
+    model_id: str,
+    clients: int,
+    requests_per_client: int,
+) -> Dict:
+    """Hot-swap v1 -> v2 while client threads hammer the tenant.
+
+    The zero-downtime gate of the whole subsystem: no request may fail or
+    drop, every response is attributed to exactly one of the two versions,
+    and once the swap returns the tenant serves v2.
+    """
+    from_version = router.live_version(model_id)
+    v2_artifact = registry.load(model_id, dataset=dataset)  # live is v2 now
+    to_version = v2_artifact.registry_version
+
+    results, errors = [], []
+    results_lock = threading.Lock()
+    start_barrier = threading.Barrier(clients + 1)
+
+    def client(worker: int) -> None:
+        start_barrier.wait()
+        for i in range(requests_per_client):
+            tick = dataset.test_raw[:, (HISTORY + worker + i) % dataset.test_raw.shape[1], :]
+            try:
+                if worker == 0:  # one writer advances the stream, all read
+                    router.ingest(model_id, tick)
+                result = router.forecast(model_id)
+            except Exception as error:  # any raise = a dropped request
+                with results_lock:
+                    errors.append(f"{type(error).__name__}: {error}")
+                return
+            with results_lock:
+                results.append((result.source, result.version))
+
+    threads = [threading.Thread(target=client, args=(w,)) for w in range(clients)]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    time.sleep(0.02)  # let pre-swap traffic land on v1
+    swap_report = router.swap(model_id, v2_artifact)
+    for thread in threads:
+        thread.join()
+
+    by_version: Dict[str, int] = {}
+    bad_sources = 0
+    for source, version in results:
+        if source not in VALID_SOURCES:
+            bad_sources += 1
+        by_version[str(version)] = by_version.get(str(version), 0) + 1
+    post_swap = router.forecast(model_id)
+    expected_total = clients * requests_per_client
+    versions_sum = sum(by_version.values())
+    ok = bool(
+        not errors
+        and bad_sources == 0
+        and versions_sum == expected_total == len(results)
+        and set(by_version) <= {str(from_version), str(to_version)}
+        and swap_report["drained"]
+        and router.live_version(model_id) == to_version
+        and post_swap.version == to_version
+        and post_swap.source in VALID_SOURCES
+    )
+    return {
+        "from_version": from_version,
+        "to_version": to_version,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "completed": len(results),
+        "errors": errors,
+        "invalid_sources": bad_sources,
+        "by_version": by_version,
+        "versions_sum_matches_total": versions_sum == expected_total,
+        "drained": bool(swap_report["drained"]),
+        "old_engine_requests": swap_report["old_requests"],
+        "post_swap_version": post_swap.version,
+        "ok": ok,
+    }
+
+
+def _shadow_phase(
+    router: FleetRouter,
+    registry: ModelRegistry,
+    dataset: TrafficDataset,
+    model_id: str,
+    sink: ListSink,
+    ticks: int,
+) -> Dict:
+    """v1 shadows the v2 primary; divergence must accumulate off-path."""
+    shadow_artifact = registry.load(model_id, 1, dataset=dataset)
+    events_before = len(sink.of_type("shadow_divergence"))
+    router.start_shadow(model_id, shadow_artifact)
+    for t in range(ticks):
+        tick = dataset.test_raw[:, (2 * HISTORY + t) % dataset.test_raw.shape[1], :]
+        router.ingest(model_id, tick)
+        router.forecast(model_id)
+    router.drain_shadow()
+    summary = router.stop_shadow(model_id)
+    divergence_events = len(sink.of_type("shadow_divergence")) - events_before
+    ok = bool(
+        summary["compared"] > 0
+        and np.isfinite(summary["mean_mae"])
+        and summary["mean_mae"] > 0  # perturbed weights genuinely diverge
+        and divergence_events == summary["compared"]
+    )
+    return {"ticks": ticks, **summary, "divergence_events": divergence_events, "ok": ok}
+
+
+def _drift_phase(
+    manager: FleetManager,
+    dataset: TrafficDataset,
+    model_id: str,
+    policy: RetrainPolicy,
+    calibration_ticks: int,
+    max_drift_ticks: int,
+) -> Dict:
+    """Regime shift -> drift trip -> fine-tune -> validate -> promote -> swap."""
+    router = manager.router
+    drifted = _drifted_dataset(dataset)
+
+    for t in range(calibration_ticks):  # settle the post-swap baseline
+        router.ingest(model_id, dataset.test_raw[:, t % dataset.test_raw.shape[1], :])
+        router.forecast(model_id)
+    ticks_to_trip = None
+    for t in range(max_drift_ticks):  # then replay the shifted regime
+        router.ingest(model_id, drifted.test_raw[:, t % drifted.test_raw.shape[1], :])
+        router.forecast(model_id)
+        if router.drift_status(model_id)["drifted"]:
+            ticks_to_trip = t + 1
+            break
+    verdict = router.drift_status(model_id)
+
+    version_before = router.live_version(model_id)
+    report = manager.retrain(model_id, drifted, policy=policy)
+    post = router.forecast(model_id)
+    ok = bool(
+        verdict["drifted"]
+        and ticks_to_trip is not None
+        and report["action"] == "swapped"
+        and report["swap"]["drained"]
+        and router.live_version(model_id) == report["candidate_version"]
+        and router.live_version(model_id) != version_before
+        and post.version == report["candidate_version"]
+        and post.source in VALID_SOURCES
+        and report["candidate_mae"] <= report["accept_margin"] * report["live_mae"]
+    )
+    return {
+        "drift": verdict,
+        "ticks_to_trip": ticks_to_trip,
+        "version_before": version_before,
+        "retrain": {k: v for k, v in report.items() if k != "swap"},
+        "swap": report.get("swap"),
+        "post_swap_version": post.version,
+        "ok": ok,
+    }
+
+
+# ---------------------------------------------------------------------- #
+def run(
+    settings: Optional[RunSettings] = None,
+    out_dir: "Path | str" = "results",
+    fast: bool = False,
+    model_name: str = "st-wa",
+) -> Tuple[TableResult, Dict]:
+    """Run the full fleet lifecycle benchmark; returns table + JSON report."""
+    settings = settings or RunSettings.smoke()
+    if fast:
+        settings = settings.with_overrides(epochs=2, max_batches=3, eval_batches=2)
+    clients, requests_per_client, shadow_ticks = (4, 6, 5) if fast else (6, 12, 10)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    dataset = get_dataset(DATASET, settings.profile)
+    scratch = out_dir / "fleet_scratch"
+    shutil.rmtree(scratch, ignore_errors=True)
+    model_id = "city-a"
+    second_tenant = "city-b"
+
+    artifact, train_info = _train_artifact(model_name, dataset, settings, scratch / "ckpt")
+    variant = _perturbed_variant(artifact)
+    probe = dataset.test_raw[:, :HISTORY, :]
+
+    registry = ModelRegistry(scratch / "registry")
+    drill = _registry_drill(registry, model_id, artifact, variant, dataset, probe)
+
+    sink = ListSink()
+    config = FleetConfig(
+        max_inflight=2,
+        disagree_tol=0.02,
+        drift=DriftPolicy(window=8, calibration=8, factor=1.5, min_samples=4),
+        serve=ServeConfig(
+            max_batch_size=max(2, clients),
+            max_wait_ms=2.0,
+            cache_ttl_s=60.0,
+            deadline_ms=10_000.0,
+            cooldown_s=0.05,
+        ),
+        sink=sink,
+    )
+    retrain_policy = RetrainPolicy(
+        epochs=1 if fast else 2,
+        max_batches=3 if fast else 10,
+        eval_batches=2,
+        holdout_windows=4 if fast else 8,
+        accept_margin=1.0,
+    )
+    with FleetRouter(config) as router:
+        manager = FleetManager(registry, router, sink=sink)
+        manager.deploy(
+            model_id, version=1, num_sensors=dataset.num_sensors, dataset=dataset
+        )
+        router.add_model(second_tenant, variant, dataset.num_sensors)
+        for t in range(HISTORY):  # warm both tenants' stream rings
+            tick = dataset.test_raw[:, t % dataset.test_raw.shape[1], :]
+            router.ingest(model_id, tick)
+            router.ingest(second_tenant, tick)
+
+        admission = _admission_phase(
+            router, dataset, model_id, second_tenant, clients=clients, rounds=4
+        )
+        swap = _swap_phase(
+            router, registry, dataset, model_id,
+            clients=clients, requests_per_client=requests_per_client,
+        )
+        shadow = _shadow_phase(router, registry, dataset, model_id, sink, ticks=shadow_ticks)
+        drift = _drift_phase(
+            manager, dataset, model_id, retrain_policy,
+            calibration_ticks=10, max_drift_ticks=40,
+        )
+        snapshot = router.snapshot()
+        slo = router._tenants[model_id].primary.engine.stats.slo_report()
+    shutil.rmtree(scratch, ignore_errors=True)  # bench scratch, not a result
+
+    phases = {
+        "registry": drill,
+        "admission": admission,
+        "hot_swap": swap,
+        "shadow": shadow,
+        "drift_retrain": drift,
+    }
+    ok = all(phase["ok"] for phase in phases.values())
+    report = {
+        "schema": 1,
+        "model": model_name,
+        "dataset": DATASET,
+        "scope": settings.scope,
+        "fast": fast,
+        "train": train_info,
+        "artifacts": {"v1": artifact.model_id, "v2": variant.model_id},
+        **phases,
+        "fleet": snapshot,
+        "identity_stamp": {  # satellite: SLO reports carry artifact identity
+            "model_id": slo.get("model_id"),
+            "artifact_version": slo.get("artifact_version"),
+            "executor_kind": slo.get("executor_kind"),
+        },
+        "events": {
+            "total": len(sink.events),
+            "fleet_swap": len(sink.of_type("fleet_swap")),
+            "fleet_shed": len(sink.of_type("fleet_shed")),
+            "shadow_divergence": len(sink.of_type("shadow_divergence")),
+            "drift": len(sink.of_type("drift")),
+            "fleet_retrain": len(sink.of_type("fleet_retrain")),
+        },
+        "ok": ok,
+    }
+    out_path = out_dir / "fleet_bench.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        [
+            "registry",
+            "PASS" if drill["ok"] else "FAIL",
+            f"v{drill['versions'][0]}->v{drill['versions'][1]}, rollback to "
+            f"v{drill['rolled_back_to']}, {drill['events']} log events, load verified",
+        ],
+        [
+            "admission",
+            "PASS" if admission["ok"] else "FAIL",
+            f"{admission['slow_tenant_sheds']} sheds on {model_id}, "
+            f"{admission['crisp_tenant_sheds']} on {second_tenant}, "
+            f"{admission['invalid_sources']} invalid sources",
+        ],
+        [
+            "hot_swap",
+            "PASS" if swap["ok"] else "FAIL",
+            f"{swap['completed']} req during v{swap['from_version']}->v{swap['to_version']}, "
+            f"{len(swap['errors'])} errors, by_version={swap['by_version']}, "
+            f"drained={swap['drained']}",
+        ],
+        [
+            "shadow",
+            "PASS" if shadow["ok"] else "FAIL",
+            f"{shadow['compared']} compared, mean MAE {fmt(shadow['mean_mae'])}, "
+            f"disagree {fmt(shadow['mean_disagree_pct'])}%",
+        ],
+        [
+            "drift_retrain",
+            "PASS" if drift["ok"] else "FAIL",
+            f"tripped after {drift['ticks_to_trip']} ticks, "
+            f"{drift['retrain']['action']} to v{drift['retrain']['candidate_version']} "
+            f"(cand MAE {fmt(drift['retrain']['candidate_mae'])} vs "
+            f"live {fmt(drift['retrain']['live_mae'])})",
+        ],
+    ]
+    table = TableResult(
+        experiment_id="fleet_bench",
+        title=f"Fleet lifecycle benchmark ({model_name}, {DATASET}, {settings.scope})",
+        headers=["phase", "status", "detail"],
+        rows=rows,
+        notes=[f"full report: {out_path}"],
+        extras={"report": report},
+    )
+    return table, report

@@ -91,14 +91,26 @@ class CircuitBreaker:
     After ``cooldown_s`` the next request is let through as a probe
     (half-open); its outcome closes or re-opens the circuit.
 
+    Every state transition (closed → open → half-open → …) is reported
+    through the optional ``on_transition(from_state, to_state)`` callback —
+    the serving engine forwards them as ``circuit_transition`` events on
+    its :class:`repro.obs.MetricsSink`, so fleet dashboards can watch
+    per-tenant breaker flaps.  The callback runs outside the breaker's
+    lock; exceptions it raises are swallowed (observability must never
+    alter circuit behaviour).
+
     Thread-safe; the clock is injectable for tests.
     """
+
+    #: the three classical breaker states, as they appear in transitions
+    STATES = ("closed", "open", "half_open")
 
     def __init__(
         self,
         failure_threshold: int = 3,
         cooldown_s: float = 5.0,
         clock: Optional[Callable[[], float]] = None,
+        on_transition: Optional[Callable[[str, str], None]] = None,
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -107,15 +119,40 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self._clock = clock if clock is not None else time.monotonic
+        self._on_transition = on_transition
         self._lock = threading.Lock()
         self._failures = 0
         self._opened_at: Optional[float] = None
+        self._state = "closed"
         self.opens = 0  # total open transitions, for observability
 
     @property
     def is_open(self) -> bool:
         with self._lock:
             return self._opened_at is not None
+
+    @property
+    def state(self) -> str:
+        """Current breaker state: ``closed`` / ``open`` / ``half_open``."""
+        with self._lock:
+            return self._state
+
+    def _transition(self, to_state: str) -> Optional[tuple]:
+        """Move to ``to_state`` (caller holds the lock); returns the edge."""
+        if self._state == to_state:
+            return None
+        edge = (self._state, to_state)
+        self._state = to_state
+        return edge
+
+    def _notify(self, edge: Optional[tuple]) -> None:
+        """Fire the transition callback outside the lock; never raise."""
+        if edge is None or self._on_transition is None:
+            return
+        try:
+            self._on_transition(*edge)
+        except Exception:
+            pass  # observability must never alter circuit behaviour
 
     def allow(self) -> bool:
         """Whether the next request may try the model.
@@ -126,25 +163,37 @@ class CircuitBreaker:
         with self._lock:
             if self._opened_at is None:
                 return True
-            return self._clock() - self._opened_at >= self.cooldown_s
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                edge = self._transition("half_open")
+                allowed = True
+            else:
+                edge, allowed = None, False
+        self._notify(edge)
+        return allowed
 
     def record_success(self) -> None:
         with self._lock:
             self._failures = 0
             self._opened_at = None
+            edge = self._transition("closed")
+        self._notify(edge)
 
     def record_failure(self) -> None:
+        edge = None
         with self._lock:
             self._failures += 1
             if self._failures >= self.failure_threshold:
                 if self._opened_at is None:
                     self.opens += 1
                 self._opened_at = self._clock()  # (re)start the cooldown
+                edge = self._transition("open")
+        self._notify(edge)
 
     def snapshot(self) -> dict:
         with self._lock:
             return {
                 "open": self._opened_at is not None,
+                "state": self._state,
                 "consecutive_failures": self._failures,
                 "failure_threshold": self.failure_threshold,
                 "cooldown_s": self.cooldown_s,

@@ -206,6 +206,18 @@ class ForecasterArtifact:
         #: stable identity for cache keys: architecture + exact weights
         self.model_id = f"{model_name}:{_weights_digest(model.state_dict())}"
 
+    @property
+    def registry_version(self) -> Optional[int]:
+        """Fleet-registry version this artifact was loaded as, or None.
+
+        :meth:`repro.fleet.ModelRegistry.load` stamps
+        ``metadata["registry"] = {"model_id", "version"}``; artifacts that
+        never went through a registry have no version.
+        """
+        registry = self.metadata.get("registry") or {}
+        version = registry.get("version")
+        return None if version is None else int(version)
+
     def freeze(self) -> "ForecasterArtifact":
         """Eval mode + ``requires_grad=False`` on every parameter."""
         self.model.eval()

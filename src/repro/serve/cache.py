@@ -93,14 +93,25 @@ class PredictionCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
-    def invalidate_before(self, data_version: int) -> int:
+    def invalidate_before(self, data_version: int, model_id: Optional[str] = None) -> int:
         """Drop entries computed from state older than ``data_version``.
 
         The engine calls this on every ingest so a fresh observation is
         never shadowed by a pre-ingest forecast; returns the drop count.
+
+        ``model_id`` scopes the invalidation to one tenant's entries: in a
+        shared cache (fleet deployments, several models per process) one
+        tenant's ingest advances only *its* stream, so evicting other
+        models' fresh entries by bare data version would let tenant A's
+        traffic cold-start tenant B.  ``None`` keeps the old evict-all
+        behaviour for single-model caches.
         """
         with self._lock:
-            stale = [k for k, (_, _, v) in self._entries.items() if v < data_version]
+            stale = [
+                k
+                for k, (_, _, v) in self._entries.items()
+                if v < data_version and (model_id is None or k[0] == model_id)
+            ]
             for key in stale:
                 del self._entries[key]
             self.invalidations += len(stale)

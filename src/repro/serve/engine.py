@@ -87,22 +87,39 @@ class ServingEngine:
         num_sensors: int,
         num_features: int = 1,
         config: Optional[ServeConfig] = None,
+        store: Optional[StreamStateStore] = None,
     ):
         self.artifact = artifact
         self.config = config or ServeConfig()
-        self.store = StreamStateStore(
-            num_sensors,
-            window=artifact.history,
-            num_features=num_features,
-            impute_method=self.config.impute_method,
-        )
+        if store is not None:
+            # fleet deployments share one stream store across the primary,
+            # shadow, and A/B engines of a tenant — shapes must agree
+            if (
+                store.num_sensors != num_sensors
+                or store.window_size != artifact.history
+                or store.num_features != num_features
+            ):
+                raise ValueError(
+                    f"shared store has shape (N={store.num_sensors}, "
+                    f"W={store.window_size}, F={store.num_features}) but the "
+                    f"engine needs (N={num_sensors}, W={artifact.history}, "
+                    f"F={num_features})"
+                )
+            self.store = store
+        else:
+            self.store = StreamStateStore(
+                num_sensors,
+                window=artifact.history,
+                num_features=num_features,
+                impute_method=self.config.impute_method,
+            )
         self.cache = PredictionCache(
             ttl_seconds=self.config.cache_ttl_s, capacity=self.config.cache_capacity
         )
-        self.stats = ServingStats(self.config.latency_capacity)
         self.circuit = CircuitBreaker(
             failure_threshold=self.config.failure_threshold,
             cooldown_s=self.config.cooldown_s,
+            on_transition=self._on_circuit_transition,
         )
         # degraded path: a persistence forecast through its own inference
         # executor — raw units in/out, no scaler, and never the model
@@ -136,6 +153,15 @@ class ServingEngine:
             self.executor_kind = "inference"
             self._model_executor = artifact.executor
             self._owns_model_executor = False
+        # identity-stamped stats: every snapshot / SLO report names the
+        # artifact (and its fleet-registry version) plus the backend, so
+        # fleet A/B and shadow comparisons stay attributable
+        self.stats = ServingStats(
+            self.config.latency_capacity,
+            model_id=artifact.model_id,
+            artifact_version=artifact.registry_version,
+            executor_kind=self.executor_kind,
+        )
         self.batcher = MicroBatcher(
             self._predict_batch,
             max_batch_size=self.config.max_batch_size,
@@ -149,13 +175,38 @@ class ServingEngine:
     def ingest(self, values: np.ndarray, sensor_ids=None) -> int:
         """Feed one stream tick; invalidates forecasts built on older state."""
         version = self.store.ingest(values, sensor_ids=sensor_ids)
-        dropped = self.cache.invalidate_before(version)
+        self.invalidate_stale(version)
+        return version
+
+    def invalidate_stale(self, version: int) -> int:
+        """Drop this engine's cached forecasts computed before ``version``.
+
+        Split out from :meth:`ingest` for fleet deployments where several
+        engines share one stream store: the router ticks the store once and
+        calls this hook on every arm.  Invalidation is scoped to this
+        engine's ``model_id`` so tenants sharing a cache never evict each
+        other.
+        """
+        dropped = self.cache.invalidate_before(version, model_id=self.artifact.model_id)
         self.stats.ingests += 1
         if self._observed and dropped:
             self.sink.emit(
                 {"event": "cache_invalidate", "version": version, "dropped": dropped}
             )
-        return version
+        return dropped
+
+    def _on_circuit_transition(self, from_state: str, to_state: str) -> None:
+        """Mirror breaker flaps (closed→open→half-open) onto the sink."""
+        if self._observed:
+            self.sink.emit(
+                {
+                    "event": "circuit_transition",
+                    "from": from_state,
+                    "to": to_state,
+                    "model_id": self.artifact.model_id,
+                    "time": time.time(),
+                }
+            )
 
     # ------------------------------------------------------------------ #
     # request path

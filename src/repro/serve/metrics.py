@@ -102,9 +102,22 @@ class Distribution:
 
 
 class ServingStats:
-    """Aggregate serving metrics bundle owned by the engine."""
+    """Aggregate serving metrics bundle owned by the engine.
 
-    def __init__(self, latency_capacity: int = 4096):
+    The optional identity fields (``model_id``, ``artifact_version``,
+    ``executor_kind``) stamp every snapshot and SLO report with *which*
+    artifact and backend produced the numbers — without them a fleet's
+    A/B or shadow comparison cannot attribute a quantile to a model.
+    """
+
+    def __init__(
+        self,
+        latency_capacity: int = 4096,
+        *,
+        model_id: Optional[str] = None,
+        artifact_version: Optional[int] = None,
+        executor_kind: Optional[str] = None,
+    ):
         self.latency = LatencyHistogram(latency_capacity)
         self.batch_sizes = Distribution()
         self.queue_depths = Distribution()
@@ -113,6 +126,17 @@ class ServingStats:
         self.fallbacks = 0
         self.errors = 0
         self.ingests = 0
+        self.model_id = model_id
+        self.artifact_version = artifact_version
+        self.executor_kind = executor_kind
+
+    def identity(self) -> Dict[str, object]:
+        """The artifact/backend identity block stamped on reports."""
+        return {
+            "model_id": self.model_id,
+            "artifact_version": self.artifact_version,
+            "executor_kind": self.executor_kind,
+        }
 
     @property
     def requests(self) -> int:
@@ -126,6 +150,7 @@ class ServingStats:
     def snapshot(self) -> Dict[str, object]:
         """Flat JSON-serializable summary (the ``stats`` event payload)."""
         return {
+            **self.identity(),
             "requests": self.requests,
             "latency": self.latency.summary(),
             "batch_size": self.batch_sizes.summary(),
@@ -142,7 +167,8 @@ class ServingStats:
         """Check the latency quantiles against millisecond SLO targets.
 
         Unset targets pass vacuously; the report carries measured vs target
-        per objective plus an overall ``ok`` flag.
+        per objective, an overall ``ok`` flag, and the artifact/backend
+        identity block so fleet comparisons stay attributable.
         """
         objectives: List[Dict[str, object]] = []
         for name, target in (("p95", p95_ms), ("p99", p99_ms)):
@@ -157,4 +183,8 @@ class ServingStats:
                     "ok": bool(np.isfinite(measured) and measured <= target),
                 }
             )
-        return {"ok": all(o["ok"] for o in objectives), "objectives": objectives}
+        return {
+            **self.identity(),
+            "ok": all(o["ok"] for o in objectives),
+            "objectives": objectives,
+        }

@@ -882,7 +882,7 @@ def _traced(name: str, fn):
         hook = _trace_hook
         anomaly = _anomaly_check
         capture = _op_capture
-        if (hook is None and anomaly is None and capture is None) or tensor_module._inference_mode:
+        if (hook is None and anomaly is None and capture is None) or tensor_module._state.inference_mode:
             return fn(*args, **kwargs)
         if hook is None and anomaly is None:
             # capture-only fast path: record the call, skip timing/screening

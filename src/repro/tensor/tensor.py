@@ -19,35 +19,52 @@ CPU-bound either way, and float64 makes the numerical gradient checks in
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
-_grad_enabled = True
+
+class _GradState(threading.local):
+    """Per-thread autodiff mode flags (``__init__`` runs once per thread).
+
+    Thread-local on purpose: the process serves and trains concurrently
+    (a :class:`repro.serve.MicroBatcher` worker runs forwards under
+    :class:`inference_mode` while :class:`repro.fleet.FleetManager`
+    fine-tunes on another thread), and a shared flag with save/restore
+    semantics is not reentrant across threads — interleaved exits can
+    leave graph recording stuck off for everyone.
+    """
+
+    def __init__(self):
+        self.grad_enabled = True
+        self.inference_mode = False
+
+
+_state = _GradState()
 
 
 class no_grad:
-    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+    """Context manager that disables graph recording (like ``torch.no_grad``).
+
+    Scoped to the entering thread, as in torch: other threads keep
+    recording.
+    """
 
     def __enter__(self) -> "no_grad":
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = _state.grad_enabled
+        _state.grad_enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _state.grad_enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations are currently recorded on the autograd tape."""
-    return _grad_enabled
-
-
-_inference_mode = False
+    """Return whether this thread records operations on the autograd tape."""
+    return _state.grad_enabled
 
 
 class inference_mode(no_grad):
@@ -58,25 +75,24 @@ class inference_mode(no_grad):
     hooks and :func:`detect_anomaly` screens see nothing), so a forward pass
     costs exactly its NumPy arithmetic.  Online inference
     (:mod:`repro.serve`) runs every model forward under this context; its
-    own request-level metrics replace op-level tracing there.
+    own request-level metrics replace op-level tracing there.  Like
+    :class:`no_grad`, the mode is per-thread.
     """
 
     def __enter__(self) -> "inference_mode":
-        global _inference_mode
         super().__enter__()
-        self._prev_inference = _inference_mode
-        _inference_mode = True
+        self._prev_inference = _state.inference_mode
+        _state.inference_mode = True
         return self
 
     def __exit__(self, *exc) -> None:
-        global _inference_mode
         super().__exit__(*exc)
-        _inference_mode = self._prev_inference
+        _state.inference_mode = self._prev_inference
 
 
 def is_inference_mode_enabled() -> bool:
-    """Return whether the serving fast path (:class:`inference_mode`) is active."""
-    return _inference_mode
+    """Return whether the serving fast path is active on this thread."""
+    return _state.inference_mode
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
@@ -212,7 +228,7 @@ class Tensor:
         backward_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create a graph node from an op's output (internal helper for ops)."""
-        if not _grad_enabled:
+        if not _state.grad_enabled:
             # no_grad / inference_mode: no parents scan, no closure retained
             return Tensor(data)
         parents = tuple(parents)

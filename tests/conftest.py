@@ -72,9 +72,9 @@ def _global_state_leaks() -> list:
         leaks.append("op-capture recorder still installed (set_op_capture)")
     if tensor_core._grad_alloc_hook is not None:
         leaks.append("grad-alloc hook still installed (set_grad_alloc_hook)")
-    if tensor_core._grad_enabled is not True:
+    if tensor_core._state.grad_enabled is not True:
         leaks.append("gradients left disabled (no_grad not unwound)")
-    if tensor_core._inference_mode is not False:
+    if tensor_core._state.inference_mode is not False:
         leaks.append("inference_mode left active")
     if profiler_module._active is not None:
         leaks.append("a profiler is still active (profile() not unwound)")
@@ -90,8 +90,8 @@ def _reset_global_state() -> None:
     tensor_ops.set_anomaly_check(None)
     tensor_ops.set_op_capture(None)
     tensor_core.set_grad_alloc_hook(None)
-    tensor_core._grad_enabled = True
-    tensor_core._inference_mode = False
+    tensor_core._state.grad_enabled = True
+    tensor_core._state.inference_mode = False
     profiler_module._active = None
 
 

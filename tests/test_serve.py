@@ -96,6 +96,41 @@ class TestInferenceMode:
             fast = model(Tensor(x)).numpy()
         np.testing.assert_array_equal(fast, expected)
 
+    def test_mode_is_thread_local(self, rng):
+        # A serving thread holding inference_mode open (as the MicroBatcher
+        # worker does mid-forward) must not switch off graph recording for a
+        # concurrently training thread — the fleet serves and fine-tunes in
+        # the same process.
+        entered = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def hold_inference_mode():
+            with inference_mode():
+                observed["inference"] = is_inference_mode_enabled()
+                observed["grad"] = is_grad_enabled()
+                entered.set()
+                release.wait(timeout=10.0)
+
+        worker = threading.Thread(target=hold_inference_mode, daemon=True)
+        worker.start()
+        try:
+            assert entered.wait(timeout=10.0)
+            # worker saw its own mode...
+            assert observed == {"inference": True, "grad": False}
+            # ...but this thread still records a graph and can backprop
+            assert not is_inference_mode_enabled()
+            assert is_grad_enabled()
+            x = Tensor(rng.standard_normal((3, 3)), requires_grad=True)
+            loss = (x * 2.0).sum()
+            assert loss.requires_grad
+            loss.backward()
+            np.testing.assert_allclose(x.grad, 2.0 * np.ones((3, 3)))
+        finally:
+            release.set()
+            worker.join(timeout=10.0)
+        assert is_grad_enabled() and not is_inference_mode_enabled()
+
 
 # --------------------------------------------------------------------------- #
 # latency metrics
@@ -212,6 +247,23 @@ class TestPredictionCache:
         assert cache.get(stale) is None
         assert cache.get(fresh) is not None
 
+    def test_invalidation_scoped_to_model_id(self, rng):
+        cache = PredictionCache()
+        tenant_a = cache.make_key("city-a", raw_window(rng), HORIZON)
+        tenant_b = cache.make_key("city-b", raw_window(rng), HORIZON)
+        cache.put(tenant_a, np.ones(2), data_version=1)
+        cache.put(tenant_b, np.ones(2), data_version=1)
+        dropped = cache.invalidate_before(5, model_id="city-a")
+        assert dropped == 1
+        assert cache.get(tenant_a) is None  # the named tenant's entry went
+        assert cache.get(tenant_b) is not None  # the other tenant's survived
+
+    def test_invalidation_without_model_id_keeps_old_behaviour(self, rng):
+        cache = PredictionCache()
+        for tenant in ("city-a", "city-b"):
+            cache.put(cache.make_key(tenant, raw_window(rng), HORIZON), np.ones(2), 1)
+        assert cache.invalidate_before(5) == 2  # None = evict across tenants
+
     def test_lru_eviction(self, rng):
         cache = PredictionCache(capacity=2)
         keys = [cache.make_key("m", raw_window(rng), h) for h in (1, 2, 3)]
@@ -308,6 +360,81 @@ class TestCircuitBreaker:
         clock[0] = 9.0
         assert not breaker.allow()
         assert breaker.snapshot()["opens"] == 1
+
+    def test_transitions_reported_closed_open_half_open_closed(self):
+        clock, edges = [0.0], []
+        breaker = CircuitBreaker(
+            failure_threshold=2,
+            cooldown_s=5.0,
+            clock=lambda: clock[0],
+            on_transition=lambda a, b: edges.append((a, b)),
+        )
+        breaker.record_failure()
+        assert edges == []  # below threshold: still closed, no edge
+        breaker.record_failure()
+        clock[0] = 5.0
+        breaker.allow()  # half-open probe
+        breaker.record_success()
+        assert edges == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_failed_probe_transitions_half_open_to_open(self):
+        clock, edges = [0.0], []
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown_s=5.0,
+            clock=lambda: clock[0],
+            on_transition=lambda a, b: edges.append((a, b)),
+        )
+        breaker.record_failure()
+        clock[0] = 5.0
+        breaker.allow()
+        breaker.record_failure()
+        assert edges == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "open"),
+        ]
+        assert breaker.state == "open"
+
+    def test_snapshot_carries_state_and_callback_errors_are_swallowed(self):
+        def explode(a, b):
+            raise RuntimeError("observer crashed")
+
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=0.0, on_transition=explode)
+        assert breaker.snapshot()["state"] == "closed"
+        breaker.record_failure()  # callback raises; circuit must still open
+        assert breaker.snapshot()["state"] == "open"
+        assert breaker.is_open
+
+    def test_repeated_states_emit_no_duplicate_edges(self):
+        edges = []
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1e9, on_transition=lambda a, b: edges.append((a, b))
+        )
+        breaker.record_success()  # closed -> closed: no edge
+        breaker.record_failure()
+        breaker.record_failure()  # open -> open: no extra edge
+        assert edges == [("closed", "open")]
+
+    def test_engine_emits_circuit_transition_events(self, rng):
+        sink = ListSink()
+        engine = make_engine(rng, sink=sink, failure_threshold=1, cooldown_s=30.0)
+        hook = engine.artifact.model.register_forward_pre_hook(
+            lambda module, args: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        try:
+            window = raw_window(rng)
+            assert engine.forecast(window).source == "fallback"
+        finally:
+            hook.remove()
+            engine.close()
+        transitions = sink.of_type("circuit_transition")
+        assert [(e["from"], e["to"]) for e in transitions] == [("closed", "open")]
+        assert transitions[0]["model_id"] == engine.artifact.model_id
 
 
 # --------------------------------------------------------------------------- #
@@ -520,3 +647,57 @@ class TestServingEngine:
         assert slo["ok"]
         failed = engine.stats.slo_report(p95_ms=1e-9)
         assert not failed["ok"]
+
+    def test_slo_report_stamped_with_artifact_identity(self, rng):
+        artifact = make_artifact()
+        artifact.metadata["registry"] = {"model_id": "city-a", "version": 4}
+        with ServingEngine(
+            artifact, num_sensors=4, config=ServeConfig(max_wait_ms=0.5)
+        ) as engine:
+            for _ in range(HISTORY):
+                engine.ingest(100.0 + 20.0 * rng.standard_normal(4))
+            engine.forecast()
+            slo = engine.stats.slo_report(p95_ms=60_000.0)
+            snapshot = engine.snapshot()
+        assert slo["model_id"] == artifact.model_id
+        assert slo["artifact_version"] == 4
+        assert slo["executor_kind"] == "inference"
+        assert snapshot["artifact_version"] == 4
+        assert snapshot["executor_kind"] == "inference"
+
+    def test_unregistered_artifact_has_no_version(self, rng):
+        with make_engine(rng) as engine:
+            assert engine.stats.slo_report()["artifact_version"] is None
+            assert engine.artifact.registry_version is None
+
+    def test_engines_share_a_store_and_invalidate_independently(self, rng):
+        store = StreamStateStore(num_sensors=4, window=HISTORY)
+        primary = ServingEngine(
+            make_artifact(), num_sensors=4, config=ServeConfig(max_wait_ms=0.5), store=store
+        )
+        shadow = ServingEngine(
+            make_artifact(GRUForecaster(HISTORY, HORIZON, hidden_size=4, predictor_hidden=8)),
+            num_sensors=4,
+            config=ServeConfig(max_wait_ms=0.5),
+            store=store,
+        )
+        try:
+            for _ in range(HISTORY):
+                version = store.ingest(100.0 + 20.0 * rng.standard_normal(4))
+            assert primary.store is shadow.store
+            assert primary.forecast().source == "model"
+            assert shadow.forecast().source == "model"  # same window, own cache
+            assert primary.forecast().source == "cache"
+            # the fleet hook: one tick, every arm invalidated by version
+            version = store.ingest(100.0 + 20.0 * rng.standard_normal(4))
+            assert primary.invalidate_stale(version) == 1
+            assert shadow.invalidate_stale(version) == 1
+            assert primary.forecast().source == "model"  # stale entry gone
+        finally:
+            primary.close()
+            shadow.close()
+
+    def test_shared_store_shape_mismatch_is_rejected(self):
+        store = StreamStateStore(num_sensors=3, window=HISTORY)
+        with pytest.raises(ValueError, match=r"shared store has shape \(N=3"):
+            ServingEngine(make_artifact(), num_sensors=4, store=store)

@@ -31,6 +31,7 @@ PUBLIC_MODULES = (
     "repro.core",
     "repro.data",
     "repro.exec",
+    "repro.fleet",
     "repro.harness",
     "repro.nn",
     "repro.obs",
