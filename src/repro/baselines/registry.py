@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Optional
 
 from ..core import (
+    SimSTForecaster,
     STAttentionConfig,
     STAwareTCN,
     STTCNConfig,
@@ -309,6 +310,8 @@ MODEL_BUILDERS: Dict[str, Builder] = {
     "st-wa-mean": _st_wa_family(make_mean_aggregator_st_wa, _ST_WA_DEFAULTS),
     # extension: normalizing-flow latents (the paper's stated future work)
     "st-wa-flow": _st_wa_family(make_flow_st_wa, _ST_WA_DEFAULTS),
+    # extension: graph-free per-sensor track (SimST), sensor-shardable
+    "simst": _graph(SimSTForecaster),
 }
 
 #: architecture family per model, for the analytic memory model (Table VI)
@@ -345,6 +348,7 @@ MODEL_FAMILIES: Dict[str, str] = {
     "st-wa-det": "window_attention",
     "st-wa-mean": "window_attention",
     "st-wa-flow": "window_attention",
+    "simst": "per_sensor",
 }
 
 

@@ -21,6 +21,7 @@ from .latent import SpatialLatent, STLatent, TemporalLatentEncoder
 from .loss import STWALoss
 from .model import STWA, STWAConfig
 from .sensor_attention import SensorCorrelationAttention
+from .simst import SimSTForecaster, make_simst, topk_neighbors
 from .st_attention import STAttentionConfig, STAwareTransformer
 from .st_gru import STAwareGRU, STGRUConfig
 from .st_tcn import STAwareTCN, STTCNConfig
@@ -63,4 +64,7 @@ __all__ = [
     "PlanarFlow",
     "make_mean_aggregator_st_wa",
     "default_window_sizes",
+    "SimSTForecaster",
+    "make_simst",
+    "topk_neighbors",
 ]

@@ -1,0 +1,281 @@
+"""SimST-style graph-free per-sensor forecaster (scaling track).
+
+"Do We Really Need Graph Neural Networks for Traffic Forecasting?" argues
+that a *per-sensor* model — one set of shared weights applied to every
+sensor independently, with spatial context folded into the **inputs**
+instead of the architecture — matches spatio-temporal GNNs at a fraction of
+their cost.  This module is that baseline for our substrate:
+
+* **Proximity-encoded inputs.**  Each sensor's history window is augmented
+  with a neighbor-aggregate channel: a fixed (non-learned) top-``k``
+  proximity average of its graph neighbors' windows.  The aggregation is
+  the *only* place the sensor graph appears; it is a preprocessing step on
+  the input, not a layer, so it is computed once per batch and the rest of
+  the forward is embarrassingly parallel across sensors.
+* **Learned node embeddings.**  A ``(N, E)`` embedding table is the only
+  per-sensor parameter; every other weight is shared, so parameter count
+  grows O(N·E) instead of O(N²) and the model scales past graph-bound
+  architectures (see :class:`repro.training.memory.CapacityPlanner`).
+* **Shared-weight encoder.**  An MLP (or GRU) over the augmented window,
+  concatenated with the node embedding, into the usual U-step predictor
+  head — scaled ``(B, N, H, F)`` in, scaled ``(B, N, U, F)`` out, the
+  repo-wide forecaster contract.
+
+Sensor sharding
+---------------
+Because sensors only interact through the input-side aggregation, the model
+declares ``sensor_shardable = True``: :class:`repro.exec.ShardedExecutor`
+computes :meth:`SimSTForecaster.augment` on the full network in the parent,
+splits the augmented batch along the sensor axis, and runs each contiguous
+shard on a worker that has called :meth:`set_sensor_shard` so the embedding
+lookup indexes the right rows.  The sharded loss/gradient recombine exactly
+(see DESIGN.md §15): shared weights receive the finite-target-weighted mean
+of shard gradients, and embedding rows are touched by exactly one shard.
+
+The neighbor structure is stored as top-``k`` ``(indices, weights)`` pairs,
+never as a dense ``(N, N)`` operator, so a metro-scale N=10k instance costs
+kilobytes of proximity state instead of gigabytes — neighbors can also be
+passed in directly (``neighbors=(idx, wt)``) when no dense adjacency exists
+at that scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import GRU, MLP, Module, Parameter
+from ..tensor import Tensor, ops
+
+__all__ = ["SimSTForecaster", "make_simst", "topk_neighbors"]
+
+
+def topk_neighbors(
+    adjacency: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduce a dense adjacency to top-``k`` proximity ``(indices, weights)``.
+
+    Direction is folded away (``A + Aᵀ``: upstream and downstream sensors
+    are both "near"), the diagonal is dropped, and each row keeps its ``k``
+    strongest neighbors with weights normalized to sum to 1.  Isolated
+    sensors get all-zero weights, so their aggregate channel is zero — the
+    shared encoder still sees their own window.  Ties break by sensor id
+    (stable sort) so the reduction is deterministic.
+    """
+    dense = np.asarray(adjacency, dtype=np.float64)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise ValueError(f"adjacency must be square, got shape {dense.shape}")
+    num_sensors = dense.shape[0]
+    proximity = dense + dense.T
+    np.fill_diagonal(proximity, 0.0)
+    k = max(1, min(k, num_sensors - 1)) if num_sensors > 1 else 1
+    order = np.argsort(-proximity, axis=1, kind="stable")[:, :k]
+    weights = np.take_along_axis(proximity, order, axis=1)
+    totals = weights.sum(axis=1, keepdims=True)
+    weights = weights / np.where(totals > 0, totals, 1.0)
+    return order.astype(np.int64), weights
+
+
+class SimSTForecaster(Module):
+    """Per-sensor MLP/GRU over proximity-augmented windows + node embeddings.
+
+    Parameters
+    ----------
+    num_sensors, adjacency, history, horizon:
+        Network size, (optional) dense adjacency for the proximity
+        encoding, and the task shape — positionally compatible with the
+        registry's graph-model builder.
+    hidden / embedding_dim / predictor_hidden:
+        Shared encoder width, per-sensor embedding size, predictor width.
+    num_neighbors:
+        Top-``k`` kept per sensor by :func:`topk_neighbors`.
+    encoder:
+        ``"mlp"`` (flattened window) or ``"gru"`` (recurrent over the
+        augmented window).
+    neighbors:
+        Precomputed ``(indices, weights)`` arrays, each ``(N, k)`` —
+        bypasses the dense adjacency entirely (the city-scale path).
+    """
+
+    #: contract flag read by :class:`repro.exec.ShardedExecutor`: sensors
+    #: only couple through :meth:`augment`, so the core splits exactly
+    sensor_shardable = True
+
+    def __init__(
+        self,
+        num_sensors: int,
+        adjacency: Optional[np.ndarray] = None,
+        history: int = 12,
+        horizon: int = 12,
+        in_features: int = 1,
+        hidden: int = 64,
+        embedding_dim: int = 16,
+        predictor_hidden: int = 128,
+        num_neighbors: int = 8,
+        encoder: str = "mlp",
+        neighbors: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if encoder not in ("mlp", "gru"):
+            raise ValueError(f"encoder must be 'mlp' or 'gru', got {encoder!r}")
+        rng = np.random.default_rng(seed)
+        self.num_sensors = num_sensors
+        self.history = history
+        self.horizon = horizon
+        self.in_features = in_features
+        self.hidden = hidden
+        self.encoder = encoder
+        if neighbors is not None:
+            idx, wt = neighbors
+            idx = np.asarray(idx, dtype=np.int64)
+            wt = np.asarray(wt, dtype=np.float64)
+            if idx.shape != wt.shape or idx.ndim != 2 or idx.shape[0] != num_sensors:
+                raise ValueError(
+                    f"neighbors must be two (N, k) arrays, got {idx.shape} / {wt.shape}"
+                )
+            if idx.size and (idx.min() < 0 or idx.max() >= num_sensors):
+                raise ValueError("neighbor indices out of range")
+        elif adjacency is not None:
+            idx, wt = topk_neighbors(adjacency, num_neighbors)
+        else:  # graph-free degenerate case: zero aggregate channel
+            idx = np.zeros((num_sensors, 1), dtype=np.int64)
+            wt = np.zeros((num_sensors, 1), dtype=np.float64)
+        self._neighbor_idx = idx
+        self._neighbor_wt = wt
+        self._shard: Optional[Tuple[int, int]] = None
+
+        self.node_embedding = Parameter(
+            rng.standard_normal((num_sensors, embedding_dim)) * 0.1
+        )
+        window_features = 2 * in_features  # raw channel + neighbor aggregate
+        if encoder == "gru":
+            self.gru = GRU(window_features, hidden, rng=rng)
+            encoded = hidden
+        else:
+            self.mlp = MLP(
+                [history * window_features, hidden, hidden],
+                activation="relu",
+                rng=rng,
+            )
+            encoded = hidden
+        self.head = MLP(
+            [encoded + embedding_dim, predictor_hidden, horizon * in_features],
+            activation="relu",
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------ #
+    # sensor sharding
+    # ------------------------------------------------------------------ #
+    def set_sensor_shard(self, start: int, stop: int) -> None:
+        """Restrict the embedding lookup to sensors ``[start, stop)``.
+
+        Called on worker copies by the sharded execution path; the forward
+        then expects pre-augmented ``(B, stop-start, H, 2F)`` inputs.
+        ``clear_sensor_shard`` restores full-network operation.
+        """
+        if not (0 <= start < stop <= self.num_sensors):
+            raise ValueError(
+                f"sensor shard [{start}, {stop}) out of range for N={self.num_sensors}"
+            )
+        self._shard = (int(start), int(stop))
+
+    def clear_sensor_shard(self) -> None:
+        self._shard = None
+
+    @property
+    def sensor_shard(self) -> Optional[Tuple[int, int]]:
+        return self._shard
+
+    def augment(self, windows: np.ndarray) -> np.ndarray:
+        """Append the proximity-aggregate channel: ``(B, N, H, F) -> (B, N, H, 2F)``.
+
+        Pure NumPy and fully deterministic — the sharded parent and the
+        serial forward call the *same* routine, which is what makes the
+        sharded step bit-identical in its inputs.  Needs the full network
+        (aggregation reads neighbor rows), so it always runs before any
+        sensor split.
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 4 or windows.shape[1] != self.num_sensors:
+            raise ValueError(
+                f"augment needs the full (B, {self.num_sensors}, H, F) batch, "
+                f"got shape {windows.shape}"
+            )
+        gathered = windows[:, self._neighbor_idx]  # (B, N, k, H, F)
+        aggregate = np.einsum("nk,bnkhf->bnhf", self._neighbor_wt, gathered)
+        return np.concatenate([windows, aggregate], axis=-1)
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"expected (B, N, H, F) input, got shape {x.shape}")
+        batch, sensors, history, features = x.shape
+        if history != self.history:
+            raise ValueError(f"expected history {self.history}, got {history}")
+        if features == self.in_features:
+            # full-network path: aggregate host-side, then enter the graph.
+            # The aggregate is a data-dependent host array, so a compiled
+            # trace must not freeze it into the plan.
+            ops.notify_compile_unsupported(
+                "SimST host-side neighbor aggregation is data-dependent"
+            )
+            if self._shard is not None:
+                raise ValueError(
+                    "model holds a sensor shard; feed pre-augmented windows"
+                )
+            x = Tensor(self.augment(x.data))
+        elif features != 2 * self.in_features:
+            raise ValueError(
+                f"expected {self.in_features} raw or {2 * self.in_features} "
+                f"augmented features, got {features}"
+            )
+        if self._shard is None:
+            if sensors != self.num_sensors:
+                raise ValueError(
+                    f"expected {self.num_sensors} sensors, got {sensors}"
+                )
+            embedding = self.node_embedding
+        else:
+            start, stop = self._shard
+            if sensors != stop - start:
+                raise ValueError(
+                    f"shard [{start}, {stop}) expects {stop - start} sensors, "
+                    f"got {sensors}"
+                )
+            embedding = ops.getitem(self.node_embedding, slice(start, stop))
+
+        if self.encoder == "gru":
+            _, encoded = self.gru(x)  # (B, Ns, hidden)
+        else:
+            flat = ops.reshape(x, (batch, sensors, history * x.shape[3]))
+            encoded = self.mlp(flat)  # (B, Ns, hidden)
+        # broadcast the (Ns, E) embedding over the batch through an add
+        carrier = Tensor(np.zeros((batch,) + tuple(embedding.shape)))
+        features_cat = ops.concat([encoded, carrier + embedding], axis=-1)
+        prediction = self.head(features_cat)
+        return ops.reshape(
+            prediction, (batch, sensors, self.horizon, self.in_features)
+        )
+
+
+def make_simst(
+    num_sensors: int,
+    adjacency: Optional[np.ndarray] = None,
+    *,
+    history: int = 12,
+    horizon: int = 12,
+    seed: int = 0,
+    **overrides,
+) -> SimSTForecaster:
+    """Factory mirroring the other ``make_*`` variants."""
+    return SimSTForecaster(
+        num_sensors,
+        adjacency,
+        history=history,
+        horizon=horizon,
+        seed=seed,
+        **overrides,
+    )

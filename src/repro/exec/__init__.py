@@ -10,6 +10,9 @@ serving — implements one contract:
 * :class:`SerialExecutor` — in-process forward/backward.
 * :class:`ParallelExecutor` — batches sharded across a
   :class:`repro.parallel.WorkerPool`, gradients tree-reduced.
+* :class:`ShardedExecutor` — contiguous *sensor*-dimension sharding over
+  the same pool for ``sensor_shardable`` models (batch-axis fallback
+  otherwise); trains and serves, reassembling shard forecasts.
 * :class:`InferenceExecutor` — the :class:`repro.tensor.inference_mode`
   graph-free fast path with optional scaler/shape handling; training
   raises.
@@ -34,6 +37,7 @@ from .base import (
 from .inference import InferenceExecutor
 from .parallel import ParallelExecutor
 from .serial import SerialExecutor
+from .sharded import ShardedExecutor
 from .spec import EXECUTOR_KINDS, ExecutorSpec, make_executor
 
 __all__ = [
@@ -46,6 +50,7 @@ __all__ = [
     "InferenceExecutor",
     "ParallelExecutor",
     "SerialExecutor",
+    "ShardedExecutor",
     "StepResult",
     "eval_forward",
     "make_executor",

@@ -87,12 +87,17 @@ class ParallelExecutor(Executor):
             self._pool = None
 
     # ------------------------------------------------------------------ #
+    def _make_shards(self, x: np.ndarray, y: np.ndarray):
+        """Split one batch into per-worker shards (subclasses swap the axis)."""
+        from ..parallel import shard_batch
+
+        return shard_batch(x, y, self._pool.n_workers)
+
     def train_step(self, weights: Weights, batch: Batch) -> StepResult:
         """One sharded step; the reduced gradient lands on the parent model."""
         self._require_open("train_step")
         from ..obs import current_profiler
         from ..optim import all_reduce_gradients
-        from ..parallel import shard_batch
         from ..training import checkpoint as checkpoint_module
 
         x, y = batch
@@ -100,7 +105,7 @@ class ParallelExecutor(Executor):
         state = weights if weights is not None else self.model.state_dict()
         weights_blob = checkpoint_module.dumps_state_dict(state)
         serialize_seconds = time.perf_counter() - serialize_start
-        shards = shard_batch(x, y, self._pool.n_workers)
+        shards = self._make_shards(x, y)
         results = self._pool.train_step(weights_blob, shards)
         reduce_start = time.perf_counter()
         total = all_reduce_gradients(

@@ -1,0 +1,191 @@
+"""Sensor-sharded executor: split the *network*, not the batch.
+
+:class:`ShardedExecutor` reuses the data-parallel machinery — persistent
+:class:`repro.parallel.WorkerPool`, schema-v2 weight transport, the
+finite-target-count all-reduce — but splits every batch along the sensor
+axis into contiguous ranges (:func:`repro.parallel.shard_sensors`), so each
+worker holds the *whole model* while only ever evaluating its slice of the
+network.  That is the execution shape that scales N past one process:
+activation memory per worker is ``O(N/K)`` while the graph-free SimST
+track's parameters stay ``O(N·E)`` (see DESIGN.md §15 and
+:class:`repro.training.CapacityPlanner`).
+
+Exactness (why sensor shards reduce like batch shards)
+------------------------------------------------------
+The masked-Huber loss is a mean over *finite target elements*.  Sensors
+partition those elements exactly like batch samples do, so the serial loss
+is the finite-count-weighted mean of shard losses and the serial gradient
+is the same weighted mean of shard gradients — the identical all-reduce
+identity PR 5 proved for the batch axis, merely along axis 1.  Per-sensor
+parameters (SimST's node embeddings) are consistent too: each worker's
+embedding gradient is a full-size array that is zero outside its sensor
+rows, so the weighted tree-reduce scatters every row's exact serial
+gradient back onto the parent.
+
+The one cross-sensor coupling SimST has — the proximity-aggregate input
+channel — is computed **in the parent** on the full network
+(:meth:`SimSTForecaster.augment`, pure NumPy) before slicing, so workers
+receive pre-augmented windows and never need a neighbor's activations.
+
+Axis selection
+--------------
+Only models declaring ``sensor_shardable = True`` (and exposing
+``augment`` / ``set_sensor_shard``) split along sensors.  For every other
+model — including ST-WA, whose :class:`SensorCorrelationAttention` mixes
+across sensors inside the forward — the executor degrades to batch-axis
+sharding, which is :class:`ParallelExecutor` semantics exactly.  The chosen
+axis is exposed as :attr:`shard_axis` and stamped into step stats.
+
+``predict`` fans out across the same pool (``("predict", ...)`` protocol
+message) and reassembles with :func:`repro.parallel.unshard_sensors`,
+with the scaler/rank/history bookkeeping of
+:class:`repro.exec.InferenceExecutor` so :class:`repro.serve.ServingEngine`
+can put a sharded executor directly behind a tenant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import Weights
+from .parallel import ParallelExecutor
+
+__all__ = ["ShardedExecutor"]
+
+
+class ShardedExecutor(ParallelExecutor):
+    """Sensor-axis (or fallback batch-axis) sharding over a WorkerPool."""
+
+    def __init__(
+        self,
+        model,
+        *,
+        n_workers: int = 2,
+        start_method: Optional[str] = None,
+        prefetch: bool = True,
+        detect_anomaly: bool = False,
+        step_timeout: float = 300.0,
+        seed: int = 0,
+        huber_delta: float = 1.0,
+        kl_weight: float = 0.0,
+        scaler=None,
+        history: Optional[int] = None,
+    ):
+        super().__init__(
+            model,
+            n_workers=n_workers,
+            start_method=start_method,
+            prefetch=prefetch,
+            detect_anomaly=detect_anomaly,
+            step_timeout=step_timeout,
+            seed=seed,
+            huber_delta=huber_delta,
+            kl_weight=kl_weight,
+        )
+        self.scaler = scaler
+        self.history = None if history is None else int(history)
+        shardable = bool(getattr(model, "sensor_shardable", False))
+        num_sensors = int(getattr(model, "num_sensors", 0))
+        # a single-sensor network (or a non-shardable model) degrades to
+        # batch-axis sharding, which is plain ParallelExecutor semantics
+        self.shard_axis = "sensor" if shardable and num_sensors >= 2 else "batch"
+        self._ranges: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # lifecycle: pool sized to the shard plan, workers pinned to ranges
+    # ------------------------------------------------------------------ #
+    def _acquire(self) -> None:
+        if self.shard_axis != "sensor":
+            super()._acquire()
+            return
+        from ..parallel import ParallelConfig, WorkerPool, sensor_shard_ranges
+
+        self._ranges = sensor_shard_ranges(self.model.num_sensors, self.n_workers)
+        self._pool = WorkerPool(
+            self.model,
+            ParallelConfig(
+                n_workers=len(self._ranges),
+                start_method=self.start_method,
+                detect_anomaly=self.detect_anomaly,
+                seed=self.seed,
+                step_timeout=self.step_timeout,
+            ),
+            huber_delta=self.huber_delta,
+            kl_weight=self.kl_weight,
+            worker_extras=[{"sensor_shard": r} for r in self._ranges],
+        )
+
+    def _release(self) -> None:
+        super()._release()
+        self._ranges = []
+
+    @property
+    def shard_ranges(self) -> List[Tuple[int, int]]:
+        """The ``[start, stop)`` sensor range each worker owns (open pools)."""
+        return list(self._ranges)
+
+    # ------------------------------------------------------------------ #
+    # training: parent-side augmentation, sensor-axis split
+    # ------------------------------------------------------------------ #
+    def _make_shards(self, x: np.ndarray, y: np.ndarray):
+        if self.shard_axis != "sensor":
+            return super()._make_shards(x, y)
+        augmented = self.model.augment(np.asarray(x, dtype=np.float64))
+        return [
+            (augmented[:, start:stop], y[:, start:stop])
+            for start, stop in self._ranges
+        ]
+
+    def train_step(self, weights, batch):
+        result = super().train_step(weights, batch)
+        result.stats["shard_axis"] = self.shard_axis
+        return result
+
+    # ------------------------------------------------------------------ #
+    # serving: shard-fanout prediction across the same pool
+    # ------------------------------------------------------------------ #
+    def predict(self, weights: Weights, inputs: np.ndarray) -> np.ndarray:
+        """Fan a forecast out over the shard workers and reassemble.
+
+        Accepts ``(N, H, F)`` or ``(B, N, H, F)`` windows, applies the
+        configured scaler around the forward like
+        :class:`~repro.exec.inference.InferenceExecutor`, and always ships
+        the current parent weights — the workers' copies are stale after
+        any parent-side optimizer step.
+        """
+        self._require_open("predict")
+        from ..parallel import unshard_sensors
+        from ..training import checkpoint as checkpoint_module
+
+        if weights is not None:
+            self.model.load_state_dict(weights)
+        window = np.asarray(inputs, dtype=np.float64)
+        squeeze = window.ndim == 3
+        if squeeze:
+            window = window[None]
+        if self.history is not None and (
+            window.ndim != 4 or window.shape[2] != self.history
+        ):
+            raise ValueError(
+                f"expected (B, N, {self.history}, F) window, got shape {inputs.shape}"
+            )
+        if self.scaler is not None:
+            window = self.scaler.transform(window)
+        weights_blob = checkpoint_module.dumps_state_dict(self.model.state_dict())
+        if self.shard_axis == "sensor":
+            augmented = self.model.augment(window)
+            shards: Sequence[np.ndarray] = [
+                augmented[:, start:stop] for start, stop in self._ranges
+            ]
+            forecast = unshard_sensors(self._pool.predict(weights_blob, shards))
+        else:
+            pieces = min(self._pool.n_workers, len(window))
+            shards = [s for s in np.array_split(window, pieces) if len(s)]
+            forecast = np.concatenate(
+                self._pool.predict(weights_blob, shards), axis=0
+            )
+        if self.scaler is not None:
+            forecast = self.scaler.inverse_transform(forecast)
+        return forecast[0] if squeeze else forecast

@@ -21,7 +21,10 @@ from typing import Optional
 __all__ = ["EXECUTOR_KINDS", "ExecutorSpec", "make_executor"]
 
 #: the execution strategies the factory knows how to build
-EXECUTOR_KINDS = ("serial", "parallel", "inference", "compiled")
+EXECUTOR_KINDS = ("serial", "parallel", "inference", "compiled", "sharded")
+
+#: kinds whose executor is backed by a multiprocess worker pool
+_POOLED_KINDS = ("parallel", "sharded")
 
 
 @dataclass(frozen=True)
@@ -37,12 +40,16 @@ class ExecutorSpec:
         ``"inference"`` — gradient-free prediction only (training raises);
         ``"compiled"`` — trace-once/replay-many compiled plans
         (:mod:`repro.compile`), falling back to the interpreted executors
-        for unsupported or shape-changing steps.
+        for unsupported or shape-changing steps;
+        ``"sharded"`` — contiguous sensor-dimension sharding across a
+        worker pool (:class:`repro.exec.ShardedExecutor`): sensor-axis for
+        ``sensor_shardable`` models (SimST), batch-axis fallback otherwise;
+        trains *and* serves.
     n_workers / start_method / step_timeout:
-        Worker-pool knobs, meaningful for ``kind="parallel"`` only.
+        Worker-pool knobs, meaningful for ``kind="parallel"``/``"sharded"``.
     prefetch:
         Assemble training batches in a background shared-memory process
-        (parallel only; serial assembly is already overlapped by nothing).
+        (pooled kinds only; serial assembly is already overlapped by nothing).
     detect_anomaly:
         Per-op NaN/Inf screening during training steps (slow; debugging).
     """
@@ -59,13 +66,14 @@ class ExecutorSpec:
             raise ValueError(
                 f"executor kind must be one of {EXECUTOR_KINDS}, got {self.kind!r}"
             )
-        if self.kind == "parallel" and self.n_workers < 2:
+        if self.kind in _POOLED_KINDS and self.n_workers < 2:
             raise ValueError(
-                f"a parallel executor needs n_workers >= 2, got {self.n_workers}"
+                f"a {self.kind} executor needs n_workers >= 2, got {self.n_workers}"
             )
-        if self.kind != "parallel" and self.n_workers:
+        if self.kind not in _POOLED_KINDS and self.n_workers:
             raise ValueError(
-                f"n_workers={self.n_workers} only makes sense with kind='parallel'"
+                f"n_workers={self.n_workers} only makes sense with kind "
+                f"'parallel' or 'sharded'"
             )
 
     # ------------------------------------------------------------------ #
@@ -87,6 +95,25 @@ class ExecutorSpec:
     ) -> "ExecutorSpec":
         return cls(
             kind="parallel",
+            n_workers=n_workers,
+            start_method=start_method,
+            prefetch=prefetch,
+            detect_anomaly=detect_anomaly,
+            step_timeout=step_timeout,
+        )
+
+    @classmethod
+    def sharded(
+        cls,
+        n_workers: int = 2,
+        *,
+        start_method: Optional[str] = None,
+        prefetch: bool = True,
+        detect_anomaly: bool = False,
+        step_timeout: float = 300.0,
+    ) -> "ExecutorSpec":
+        return cls(
+            kind="sharded",
             n_workers=n_workers,
             start_method=start_method,
             prefetch=prefetch,
@@ -143,6 +170,22 @@ def make_executor(
             huber_delta=huber_delta,
             kl_weight=kl_weight,
             detect_anomaly=spec.detect_anomaly,
+            scaler=scaler,
+            history=history,
+        )
+    if spec.kind == "sharded":
+        from .sharded import ShardedExecutor
+
+        return ShardedExecutor(
+            model,
+            n_workers=spec.n_workers,
+            start_method=spec.start_method,
+            prefetch=spec.prefetch,
+            detect_anomaly=spec.detect_anomaly,
+            step_timeout=spec.step_timeout,
+            seed=seed,
+            huber_delta=huber_delta,
+            kl_weight=kl_weight,
             scaler=scaler,
             history=history,
         )

@@ -18,7 +18,14 @@ gates (:mod:`repro.parallel`) that write ``parallel_bench.json`` — and
 ``fleet_bench`` backs ``python -m repro.harness fleet-bench``, the model
 lifecycle benchmark (:mod:`repro.fleet`: registry, hot swap under load,
 shadow divergence, drift-triggered retrain) that writes
-``fleet_bench.json``.
+``fleet_bench.json``.  ``shard_bench`` backs
+``python -m repro.harness shard-bench`` — the sensor-sharding gates
+(:class:`repro.exec.ShardedExecutor`: serial equivalence on both shard
+axes, serve identity, the N=10k city-scale memory envelope) that write
+``shard_bench.json`` — and ``capacity`` backs
+``python -m repro.harness capacity``, the
+:class:`repro.training.CapacityPlanner` report over the registered zoo
+(``capacity_report.json``).
 """
 
 from typing import Callable, Dict
@@ -26,6 +33,7 @@ from typing import Callable, Dict
 from . import (
     attention_scaling,
     bench,
+    capacity,
     chaos,
     fleet_bench,
     horizon_report,
@@ -34,6 +42,7 @@ from . import (
     parallel_bench,
     profile,
     serve_bench,
+    shard_bench,
     table4,
     table5,
     table6,
@@ -75,10 +84,12 @@ __all__ = [
     "RunSettings",
     "get_dataset",
     "bench",
+    "capacity",
     "chaos",
     "fleet_bench",
     "profile",
     "serve_bench",
+    "shard_bench",
     "train_and_score",
     "train_and_score_model",
 ]

@@ -10,6 +10,8 @@ Usage::
     python -m repro.harness serve-bench --fast --out results/
     python -m repro.harness parallel-bench --fast --out results/
     python -m repro.harness fleet-bench --fast --out results/
+    python -m repro.harness shard-bench --fast --out results/
+    python -m repro.harness capacity --out results/
 
 ``profile <model> [<model> ...]`` runs a short instrumented training pass
 and prints the top-K op/module runtime table; the full breakdown lands in
@@ -28,6 +30,13 @@ fails.  ``fleet-bench`` exercises the model-lifecycle plane
 (:mod:`repro.fleet`) — registry drill, admission control, hot swap under
 concurrent load, shadow divergence, drift-triggered retrain — writes
 ``<out>/fleet_bench.json``, and exits nonzero if any lifecycle gate fails.
+``shard-bench`` runs the sensor-sharding gates (serial-vs-sharded
+equivalence on both shard axes, serve identity, the N=10k city-scale
+memory envelope — see :class:`repro.exec.ShardedExecutor`), writes
+``<out>/shard_bench.json``, and exits nonzero unless every enforced gate
+passes.  ``capacity`` evaluates the
+:class:`repro.training.CapacityPlanner` over the registered model zoo at
+metro sensor counts and writes ``<out>/capacity_report.json``.
 Other results are printed and saved as text files under ``--out``.
 """
 
@@ -42,11 +51,13 @@ from . import (
     EXPERIMENTS,
     RunSettings,
     bench,
+    capacity,
     chaos,
     fleet_bench,
     parallel_bench,
     profile,
     serve_bench,
+    shard_bench,
 )
 
 
@@ -99,10 +110,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-speedup",
         type=float,
-        default=1.3,
+        default=None,
         help=(
-            "parallel-bench only: required wall-clock speedup at the best "
-            "worker count (enforced only on multi-core hosts; default 1.3)"
+            "parallel-bench/shard-bench: required wall-clock speedup "
+            "(enforced only on multi-core hosts; default 1.3 for "
+            "parallel-bench, 1.1 for shard-bench)"
         ),
     )
     args = parser.parse_args(argv)
@@ -172,6 +184,33 @@ def main(argv=None) -> int:
         result.save(out_dir)
         return 0 if report["ok"] else 1
 
+    if args.experiments[0] == "shard-bench":
+        if len(args.experiments) > 1:
+            parser.error("shard-bench takes no experiment arguments")
+        start = time.perf_counter()
+        result, report = shard_bench.run(
+            settings=settings,
+            out_dir=out_dir,
+            fast=args.fast,
+            min_speedup=1.1 if args.min_speedup is None else args.min_speedup,
+        )
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[shard-bench done in {elapsed:.1f}s]\n", flush=True)
+        result.save(out_dir)
+        return 0 if report["all_passed"] else 1
+
+    if args.experiments[0] == "capacity":
+        if len(args.experiments) > 1:
+            parser.error("capacity takes no experiment arguments")
+        start = time.perf_counter()
+        result, report = capacity.run(settings=settings, out_dir=out_dir)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[capacity done in {elapsed:.1f}s]\n", flush=True)
+        result.save(out_dir)
+        return 0
+
     if args.experiments[0] == "parallel-bench":
         if len(args.experiments) > 1:
             parser.error("parallel-bench takes no experiment arguments")
@@ -181,7 +220,7 @@ def main(argv=None) -> int:
             out_dir=out_dir,
             fast=args.fast,
             model_name=args.model,
-            min_speedup=args.min_speedup,
+            min_speedup=1.3 if args.min_speedup is None else args.min_speedup,
         )
         elapsed = time.perf_counter() - start
         print(result.to_text())

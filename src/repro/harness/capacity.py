@@ -1,0 +1,85 @@
+"""Capacity report: which registered models fit at city scale, in how many shards.
+
+``python -m repro.harness capacity`` evaluates the
+:class:`repro.training.CapacityPlanner` over every registered model at
+metro-area sensor counts (default N=10k and N=50k), prints the verdict
+table, and writes ``<out>/capacity_report.json``.
+
+The table answers the scaling question the ROADMAP poses: past N=883 the
+quadratic families (STFGNN's fused graph, graph-conv mixing, AGCRN's
+adaptive adjacency) blow through the budget and *cannot* be rescued by
+sensor sharding (their forwards mix across sensors), while the per-sensor
+SimST track stays linear in N and shards along the sensor axis whenever one
+worker's budget is exceeded (``ExecutorSpec(kind="sharded")``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..training.memory import CapacityPlanner, ModelDims, V100_BUDGET_GB
+from .reporting import TableResult, fmt
+from .runner import RunSettings
+
+SENSOR_COUNTS = (10_000, 50_000)
+
+
+def _cell(plan: Dict[str, object]) -> str:
+    if plan["fits"]:
+        return "fits"
+    shards = plan["shards_needed"]
+    if shards is None:
+        return "OOM (unshardable)" if not plan["sensor_shardable"] else "OOM"
+    if plan["sensor_shardable"]:
+        return f"{shards} shards"
+    return f"OOM ({shards} shards would fit, but model can't sensor-shard)"
+
+
+def run(
+    settings: Optional[RunSettings] = None,
+    out_dir: Path = Path("results"),
+    *,
+    budget_gb: float = V100_BUDGET_GB,
+    sensor_counts: Sequence[int] = SENSOR_COUNTS,
+    models: Optional[Sequence[str]] = None,
+    dims: Optional[ModelDims] = None,
+) -> Tuple[TableResult, Dict]:
+    """Evaluate the planner over the zoo; write ``capacity_report.json``."""
+    settings = settings or RunSettings.smoke()
+    planner = CapacityPlanner(budget_gb=budget_gb, dims=dims)
+    report = planner.report(models=models, sensor_counts=sensor_counts)
+    report["scope"] = settings.scope
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    json_path = out_dir / "capacity_report.json"
+    json_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    rows = []
+    for name, per_count in sorted(report["models"].items()):
+        first = next(iter(per_count.values()))
+        row = [name, first["family"]]
+        for count in report["sensor_counts"]:
+            plan = per_count[str(count)]
+            row.append(fmt(plan["activation_gb"], 2))
+            row.append(_cell(plan))
+        rows.append(row)
+
+    headers = ["model", "family"]
+    for count in report["sensor_counts"]:
+        headers += [f"GB @N={count}", f"verdict @N={count}"]
+    table = TableResult(
+        experiment_id="capacity",
+        title=f"Capacity plan: activation memory vs a {budget_gb:.0f} GB budget",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "analytic activation model (see repro.training.memory); shards = "
+            "smallest contiguous sensor split whose per-shard step fits",
+            f"report written to {json_path}",
+        ],
+        extras={"report": report},
+    )
+    return table, report

@@ -26,7 +26,10 @@ from .engine import (
     WorkerError,
     WorkerPool,
     default_start_method,
+    sensor_shard_ranges,
     shard_batch,
+    shard_sensors,
+    unshard_sensors,
 )
 from .prefetch import PrefetchingBatchIterator
 
@@ -37,5 +40,8 @@ __all__ = [
     "WorkerPool",
     "default_start_method",
     "shard_batch",
+    "sensor_shard_ranges",
+    "shard_sensors",
+    "unshard_sensors",
     "PrefetchingBatchIterator",
 ]

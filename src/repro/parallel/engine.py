@@ -53,6 +53,9 @@ __all__ = [
     "WorkerPool",
     "default_start_method",
     "shard_batch",
+    "sensor_shard_ranges",
+    "shard_sensors",
+    "unshard_sensors",
 ]
 
 
@@ -119,6 +122,56 @@ def shard_batch(
     ]
 
 
+def sensor_shard_ranges(num_sensors: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` sensor ranges for up to ``n_shards``.
+
+    Mirrors ``np.array_split`` layout: the first ``N % K`` shards get one
+    extra sensor.  Never returns an empty range — asking for more shards
+    than sensors yields ``num_sensors`` single-sensor shards.
+    """
+    if num_sensors < 1:
+        raise ValueError("cannot shard zero sensors")
+    pieces = min(n_shards, num_sensors)
+    if pieces < 1:
+        raise ValueError("need at least one shard")
+    # array_split's exact arithmetic: first N % K shards take the remainder
+    base, extra = divmod(num_sensors, pieces)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(pieces):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def shard_sensors(
+    x: np.ndarray, y: np.ndarray, n_shards: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split a batch along the sensor axis (axis 1) into contiguous shards.
+
+    The sensor-parallel counterpart of :func:`shard_batch`: shards follow
+    :func:`sensor_shard_ranges`, so ``np.concatenate(pieces, axis=1)``
+    reassembles the batch exactly.  NaN-masked targets ride along
+    untouched; each shard's finite-target count is its all-reduce weight.
+    """
+    if x.ndim < 2 or y.ndim < 2:
+        raise ValueError("sensor sharding needs (B, N, ...) arrays")
+    if x.shape[1] != y.shape[1]:
+        raise ValueError(
+            f"x and y disagree on sensor count: {x.shape[1]} vs {y.shape[1]}"
+        )
+    ranges = sensor_shard_ranges(x.shape[1], n_shards)
+    return [(x[:, start:stop], y[:, start:stop]) for start, stop in ranges]
+
+
+def unshard_sensors(pieces: Sequence[np.ndarray]) -> np.ndarray:
+    """Reassemble sensor shards: the inverse of :func:`shard_sensors`."""
+    if not pieces:
+        raise ValueError("nothing to unshard")
+    return np.concatenate(list(pieces), axis=1)
+
+
 # --------------------------------------------------------------------- #
 # worker side
 # --------------------------------------------------------------------- #
@@ -144,6 +197,9 @@ def _worker_main(conn, init_blob: bytes) -> None:
     model = init["model"]
     worker_id = int(init["worker_id"])
     rng_module.reseed_module_generators(model, int(init["seed"]), worker_id)
+    sensor_shard = init.get("sensor_shard")
+    if sensor_shard is not None:
+        model.set_sensor_shard(*sensor_shard)
     model.train()
     parameters = model.parameters()
     loss_fn = STWALoss(delta=init["huber_delta"], kl_weight=init["kl_weight"])
@@ -157,6 +213,21 @@ def _worker_main(conn, init_blob: bytes) -> None:
             break
         if message[0] == "stop":
             break
+        if message[0] == "predict":
+            try:
+                _, weights_blob, x_shard = message
+                if weights_blob is not None:
+                    model.load_state_dict(checkpoint_module.loads_state_dict(weights_blob))
+                model.eval()
+                try:
+                    with tensor_core.inference_mode():
+                        forecast = model(tensor_core.Tensor(x_shard)).data
+                finally:
+                    model.train()
+                conn.send(("ok", forecast))
+            except Exception as error:  # noqa: BLE001 - full report crosses the pipe
+                conn.send(("raise", "error", f"{type(error).__name__}: {error}"))
+            continue
         try:
             _, weights_blob, x_shard, y_shard = message
             start = time.perf_counter()
@@ -194,7 +265,20 @@ class WorkerPool:
     safe to call (it terminates stragglers rather than hang).
     """
 
-    def __init__(self, model, config: ParallelConfig, *, huber_delta: float, kl_weight: float):
+    def __init__(
+        self,
+        model,
+        config: ParallelConfig,
+        *,
+        huber_delta: float,
+        kl_weight: float,
+        worker_extras: Optional[Sequence[dict]] = None,
+    ):
+        if worker_extras is not None and len(worker_extras) != config.n_workers:
+            raise ValueError(
+                f"worker_extras has {len(worker_extras)} entries for "
+                f"{config.n_workers} workers"
+            )
         self.config = config
         self.n_workers = config.n_workers
         method = config.start_method or default_start_method()
@@ -203,16 +287,17 @@ class WorkerPool:
         self._workers = []
         self._conns = []
         for worker_id in range(config.n_workers):
-            init_blob = pickle.dumps(
-                {
-                    "model": model,
-                    "worker_id": worker_id,
-                    "seed": config.seed,
-                    "huber_delta": huber_delta,
-                    "kl_weight": kl_weight,
-                    "detect_anomaly": config.detect_anomaly,
-                }
-            )
+            init = {
+                "model": model,
+                "worker_id": worker_id,
+                "seed": config.seed,
+                "huber_delta": huber_delta,
+                "kl_weight": kl_weight,
+                "detect_anomaly": config.detect_anomaly,
+            }
+            if worker_extras is not None:
+                init.update(worker_extras[worker_id])
+            init_blob = pickle.dumps(init)
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=_worker_main,
@@ -263,6 +348,37 @@ class WorkerPool:
         if numerical_failure is not None:
             raise FloatingPointError(numerical_failure)
         return results
+
+    def predict(
+        self, weights_blob: Optional[bytes], shards: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Fan an inference batch out over the pool; one forecast per shard.
+
+        Same dealing/draining discipline as :meth:`train_step`: shards go
+        to workers in order, every reply is collected before any error is
+        raised, so the pipes stay usable afterwards.  Workers run under
+        ``inference_mode`` with the shipped weights (ship ``None`` only if
+        the pool's weights are known current).
+        """
+        if self._closed:
+            raise WorkerError("worker pool is closed")
+        if not shards:
+            raise ValueError("predict needs at least one shard")
+        if len(shards) > self.n_workers:
+            raise ValueError(f"{len(shards)} shards exceed pool size {self.n_workers}")
+        for conn, x_shard in zip(self._conns, shards):
+            conn.send(("predict", weights_blob, x_shard))
+        forecasts: List[np.ndarray] = []
+        worker_failure: Optional[str] = None
+        for worker_id in range(len(shards)):
+            reply = self._receive(worker_id)
+            if reply[0] == "ok":
+                forecasts.append(reply[1])
+            else:
+                worker_failure = f"worker {worker_id}: {reply[2]}"
+        if worker_failure is not None:
+            raise WorkerError(worker_failure)
+        return forecasts
 
     def _receive(self, worker_id: int):
         conn = self._conns[worker_id]

@@ -136,10 +136,10 @@ class ServingEngine:
         # swaps in another prediction backend (e.g. kind="compiled")
         if self.config.executor is not None:
             spec = self.config.executor
-            if spec.kind not in ("inference", "compiled"):
+            if spec.kind not in ("inference", "compiled", "sharded"):
                 raise ValueError(
-                    "ServeConfig.executor must be an inference or compiled "
-                    f"spec, got kind={spec.kind!r}"
+                    "ServeConfig.executor must be an inference, compiled, or "
+                    f"sharded spec, got kind={spec.kind!r}"
                 )
             self.executor_kind = spec.kind
             self._model_executor = make_executor(

@@ -1,6 +1,7 @@
 """Training harness: trainer, metrics, checkpoints, memory model."""
 
 from . import memory
+from .memory import CapacityPlan, CapacityPlanner
 from .checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointError,
@@ -43,6 +44,8 @@ __all__ = [
     "latest_checkpoint",
     "prune_checkpoints",
     "memory",
+    "CapacityPlan",
+    "CapacityPlanner",
     "IntervalForecast",
     "predict_interval",
     "sample_forecasts",

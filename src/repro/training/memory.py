@@ -24,7 +24,7 @@ what matters for the reproduction is the *relative* blow-up ordering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Sequence
 
 BYTES_PER_ELEMENT = 4  # float32 training, as in the paper's PyTorch setup
 BACKWARD_FACTOR = 2.0  # stored activations for backprop
@@ -92,6 +92,18 @@ def _graph_conv_elements(dims: ModelDims) -> float:
     return mixing + states
 
 
+def _per_sensor_elements(dims: ModelDims) -> float:
+    # graph-free track (SimST): every term is linear in N.  Augmented window
+    # (2 channels: raw + neighbor aggregate, plus the k-neighbor gather
+    # buffer), a few hidden states of the shared encoder, and the horizon
+    # output — no N² operator anywhere, which is the whole point.
+    neighbor_gather = dims.batch * dims.num_sensors * dims.proxies * dims.history
+    window = dims.batch * dims.num_sensors * dims.history * 2
+    states = dims.batch * dims.num_sensors * dims.hidden * 3
+    output = dims.batch * dims.num_sensors * dims.horizon
+    return neighbor_gather + window + states + output
+
+
 _FAMILIES: Dict[str, Callable[[ModelDims], float]] = {
     "attention": _attention_elements,  # SA / ATT / LongFormer(full-band) / ASTGNN
     "window_attention": _window_attention_elements,  # WA / S-WA / ST-WA
@@ -100,6 +112,7 @@ _FAMILIES: Dict[str, Callable[[ModelDims], float]] = {
     "stfgnn": _stfgnn_elements,
     "enhancenet": _enhancenet_elements,
     "graph_conv": _graph_conv_elements,  # STGCN / GWN / STSGCN / STG2Seq
+    "per_sensor": _per_sensor_elements,  # SimST graph-free track
 }
 
 
@@ -124,3 +137,157 @@ def fits_in_budget(family: str, dims: ModelDims, budget_gb: float = V100_BUDGET_
 def families() -> list[str]:
     """Known architecture families."""
     return sorted(_FAMILIES)
+
+
+# --------------------------------------------------------------------- #
+# capacity planning: which models fit at city scale, and in how many shards
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CapacityPlan:
+    """One model's memory verdict at one sensor count.
+
+    ``shards_needed`` is the smallest shard count K whose per-shard
+    activation footprint (the model evaluated at ⌈N/K⌉ sensors) fits the
+    budget — ``None`` if no K up to the planner's ``max_shards`` does.
+    ``sensor_shardable`` says whether the execution layer can actually
+    deliver that split: only per-sensor families decompose along the sensor
+    axis (everything else mixes across sensors inside the forward), so a
+    plan with ``shards_needed > 1`` and ``sensor_shardable=False`` means
+    *does not fit, and sharding cannot save it*.
+    """
+
+    model: str
+    family: str
+    num_sensors: int
+    activation_gb: float
+    bytes_per_sensor: float
+    fits: bool
+    shards_needed: Optional[int]
+    sensor_shardable: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "family": self.family,
+            "num_sensors": self.num_sensors,
+            "activation_gb": self.activation_gb,
+            "bytes_per_sensor": self.bytes_per_sensor,
+            "fits": self.fits,
+            "shards_needed": self.shards_needed,
+            "sensor_shardable": self.sensor_shardable,
+        }
+
+
+class CapacityPlanner:
+    """Bytes/sensor model over the registered zoo → shard plans at scale.
+
+    Extends the Table VI analytic activation model into a planning surface:
+    for any registered model name and sensor count it answers *does a
+    training step fit the device budget, and if not, how many contiguous
+    sensor shards would make it fit* (the split
+    :class:`repro.exec.ShardedExecutor` implements).
+
+    Parameters
+    ----------
+    budget_gb:
+        Per-process (per-shard-worker) memory budget.  Defaults to the
+        paper's V100.
+    dims:
+        Template :class:`ModelDims`; ``num_sensors`` is replaced per query.
+    bytes_per_element:
+        4 for the paper's float32 PyTorch setup (default); pass 8 when
+        checking the planner against this repo's float64 NumPy substrate
+        (``shard-bench`` does).
+    max_shards:
+        Upper bound on the shard search; past this the plan reports
+        ``shards_needed=None``.
+    """
+
+    def __init__(
+        self,
+        budget_gb: float = V100_BUDGET_GB,
+        *,
+        dims: Optional[ModelDims] = None,
+        bytes_per_element: int = BYTES_PER_ELEMENT,
+        max_shards: int = 1024,
+    ):
+        if budget_gb <= 0:
+            raise ValueError(f"budget_gb must be positive, got {budget_gb}")
+        self.budget_gb = float(budget_gb)
+        self.dims = dims if dims is not None else ModelDims()
+        self.bytes_per_element = int(bytes_per_element)
+        self.max_shards = int(max_shards)
+
+    # ------------------------------------------------------------------ #
+    def family_gb(self, family: str, num_sensors: int) -> float:
+        """Activation GB of ``family`` at ``num_sensors`` (planner bytes)."""
+        if family not in _FAMILIES:
+            raise KeyError(
+                f"unknown family {family!r}; available: {sorted(_FAMILIES)}"
+            )
+        dims = ModelDims(
+            batch=self.dims.batch,
+            num_sensors=int(num_sensors),
+            history=self.dims.history,
+            horizon=self.dims.horizon,
+            hidden=self.dims.hidden,
+            layers=self.dims.layers,
+            heads=self.dims.heads,
+            proxies=self.dims.proxies,
+        )
+        elements = _FAMILIES[family](dims)
+        return elements * self.bytes_per_element * BACKWARD_FACTOR / 1024**3
+
+    def plan(self, model_name: str, num_sensors: int) -> CapacityPlan:
+        """Memory verdict + shard plan for one registered model at N sensors."""
+        from ..baselines.registry import model_family
+
+        if num_sensors < 1:
+            raise ValueError(f"num_sensors must be >= 1, got {num_sensors}")
+        family = model_family(model_name)
+        total_gb = self.family_gb(family, num_sensors)
+        shards: Optional[int] = None
+        for k in range(1, self.max_shards + 1):
+            per_shard = -(-num_sensors // k)  # ceil(N/k)
+            if self.family_gb(family, per_shard) <= self.budget_gb:
+                shards = k
+                break
+        return CapacityPlan(
+            model=model_name.lower(),
+            family=family,
+            num_sensors=int(num_sensors),
+            activation_gb=total_gb,
+            bytes_per_sensor=total_gb * 1024**3 / num_sensors,
+            fits=total_gb <= self.budget_gb,
+            shards_needed=shards,
+            sensor_shardable=family == "per_sensor",
+        )
+
+    def report(
+        self,
+        models: Optional[Sequence[str]] = None,
+        sensor_counts: Sequence[int] = (10_000, 50_000),
+    ) -> Dict[str, object]:
+        """Plans for every model × sensor count, JSON-serializable."""
+        from ..baselines.registry import MODEL_FAMILIES
+
+        names = sorted(MODEL_FAMILIES) if models is None else list(models)
+        return {
+            "budget_gb": self.budget_gb,
+            "bytes_per_element": self.bytes_per_element,
+            "backward_factor": BACKWARD_FACTOR,
+            "dims": {
+                "batch": self.dims.batch,
+                "history": self.dims.history,
+                "horizon": self.dims.horizon,
+                "hidden": self.dims.hidden,
+                "layers": self.dims.layers,
+            },
+            "sensor_counts": [int(n) for n in sensor_counts],
+            "models": {
+                name: {
+                    str(n): self.plan(name, n).to_dict() for n in sensor_counts
+                }
+                for name in names
+            },
+        }

@@ -214,8 +214,8 @@ class Trainer:
             return ExecutorSpec.serial(detect_anomaly=cfg.detect_anomaly)
         if spec.kind == "inference":
             raise ValueError(
-                "TrainerConfig(executor=...) must be a serial, parallel, or "
-                "compiled spec; an inference executor cannot train"
+                "TrainerConfig(executor=...) must be a serial, parallel, "
+                "sharded, or compiled spec; an inference executor cannot train"
             )
         if cfg.n_workers:
             raise ValueError(

@@ -449,7 +449,7 @@ class TestServing:
 
     def test_serve_config_rejects_training_spec(self):
         artifact, _ = _gru_artifact()
-        with pytest.raises(ValueError, match="inference or compiled"):
+        with pytest.raises(ValueError, match="inference, compiled, or sharded"):
             ServingEngine(
                 artifact,
                 num_sensors=4,

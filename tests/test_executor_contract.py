@@ -1,6 +1,6 @@
 """Executor conformance suite (repro.exec).
 
-Every executor — serial, parallel, inference — must honor one contract:
+Every executor — serial, parallel, sharded, inference — must honor one contract:
 the open/close lifecycle state machine, ``train_step`` leaving gradients
 on the model, ``predict`` returning the eval-mode forward.  The headline
 checks: serial and parallel executors produce identical losses and
@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.compile import CompiledExecutor
-from repro.core import make_deterministic_st_wa
+from repro.core import SimSTForecaster, make_deterministic_st_wa
 from repro.data import WindowSpec
 from repro.data.windows import BatchIterator, SlidingWindowDataset
 from repro.exec import (
@@ -25,6 +25,7 @@ from repro.exec import (
     InferenceExecutor,
     ParallelExecutor,
     SerialExecutor,
+    ShardedExecutor,
     StepResult,
     make_executor,
 )
@@ -40,6 +41,18 @@ def small_model(num_sensors: int, seed: int = 0):
     )
 
 
+def small_simst(num_sensors: int, seed: int = 0):
+    return SimSTForecaster(
+        num_sensors,
+        history=SPEC.history,
+        horizon=SPEC.horizon,
+        hidden=8,
+        embedding_dim=4,
+        predictor_hidden=16,
+        seed=seed,
+    )
+
+
 def make_exec(kind: str, tiny_dataset):
     model = small_model(tiny_dataset.num_sensors)
     if kind == "serial":
@@ -48,6 +61,8 @@ def make_exec(kind: str, tiny_dataset):
         return ParallelExecutor(model, n_workers=2)
     if kind == "compiled":
         return CompiledExecutor(model)
+    if kind == "sharded":
+        return ShardedExecutor(model, n_workers=2)
     return InferenceExecutor(model)
 
 
@@ -105,6 +120,24 @@ class TestLifecycle:
         with pytest.raises(ExecutorStateError):
             executor.train_step(None, seeded_batch)
 
+    def test_sharded_lifecycle(self, tiny_dataset, seeded_batch):
+        """Same pool state machine, plus shard ranges bound to the pool."""
+        executor = ShardedExecutor(small_simst(tiny_dataset.num_sensors), n_workers=2)
+        assert executor.shard_axis == "sensor"
+        assert executor._pool is None and executor.shard_ranges == []
+        with executor:
+            assert executor._pool is not None
+            ranges = executor.shard_ranges
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == tiny_dataset.num_sensors
+            with pytest.raises(ExecutorStateError, match="already open"):
+                executor.open()
+        assert executor._pool is None and executor.shard_ranges == []
+        with pytest.raises(ExecutorStateError):
+            executor.train_step(None, seeded_batch)
+        with pytest.raises(ExecutorStateError):
+            executor.predict(None, seeded_batch[0])
+
 
 # --------------------------------------------------------------------- #
 # the equivalence gates: one step logic, many backends
@@ -155,6 +188,48 @@ class TestEquivalence:
 
 
 # --------------------------------------------------------------------- #
+# sensor sharding: axis selection + serial equivalence on one pool spawn
+# --------------------------------------------------------------------- #
+class TestShardedExecutor:
+    def test_batch_axis_fallback_for_sensor_mixing_models(self, tiny_dataset):
+        """ST-WA mixes across sensors, so sharding degrades to batch axis."""
+        executor = make_exec("sharded", tiny_dataset)
+        assert executor.shard_axis == "batch"
+
+    def test_sensor_sharded_matches_serial_on_simst(self, tiny_dataset, seeded_batch):
+        """One pool spawn covers loss, gradient, stats, and predict parity."""
+        x, y = seeded_batch
+        serial = SerialExecutor(small_simst(tiny_dataset.num_sensors)).open()
+        serial_result = serial.train_step(None, (x, y))
+        serial_prediction = serial.predict(None, x)
+        serial.close()
+
+        sharded = ShardedExecutor(small_simst(tiny_dataset.num_sensors), n_workers=2)
+        with sharded:
+            result = sharded.train_step(None, (x, y))
+            prediction = sharded.predict(None, x)
+        assert result.stats["shard_axis"] == "sensor"
+        np.testing.assert_allclose(result.loss, serial_result.loss, rtol=RTOL)
+        assert len(result.grads) == len(serial_result.grads)
+        for left, right in zip(serial_result.grads, result.grads):
+            assert (left is None) == (right is None)
+            if left is not None:
+                np.testing.assert_allclose(right, left, rtol=RTOL, atol=1e-12)
+        np.testing.assert_allclose(
+            prediction, serial_prediction, rtol=0.0, atol=1e-12
+        )
+
+    def test_predict_keeps_single_window_rank(self, tiny_dataset, seeded_batch):
+        x, _ = seeded_batch
+        executor = ShardedExecutor(small_simst(tiny_dataset.num_sensors), n_workers=2)
+        with executor:
+            batched = executor.predict(None, x[:1])
+            single = executor.predict(None, x[0])
+        assert single.ndim == 3
+        np.testing.assert_array_equal(single, batched[0])
+
+
+# --------------------------------------------------------------------- #
 # inference executors can never train
 # --------------------------------------------------------------------- #
 class TestInferenceExecutor:
@@ -192,6 +267,10 @@ class TestExecutorSpec:
         with pytest.raises(ValueError, match="n_workers"):
             ExecutorSpec.parallel(n_workers=1)
 
+    def test_sharded_needs_two_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ExecutorSpec.sharded(n_workers=1)
+
     def test_workers_on_serial_raises(self):
         with pytest.raises(ValueError, match="n_workers"):
             ExecutorSpec(kind="serial", n_workers=2)
@@ -207,6 +286,7 @@ class TestExecutorSpec:
             (ExecutorSpec.parallel(n_workers=2), ParallelExecutor),
             (ExecutorSpec.inference(), InferenceExecutor),
             (ExecutorSpec.compiled(), CompiledExecutor),
+            (ExecutorSpec.sharded(n_workers=2), ShardedExecutor),
         ],
     )
     def test_factory_dispatch(self, spec, expected, tiny_dataset):

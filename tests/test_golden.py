@@ -57,7 +57,7 @@ class TestGoldenForecasts:
             f"golden fixtures missing for {missing}; run tools/regen_golden.py"
         )
 
-    @pytest.mark.parametrize("name", ["st-wa", "gru", "stgcn"])
+    @pytest.mark.parametrize("name", ["st-wa", "gru", "stgcn", "simst"])
     def test_forecast_matches_fixture(self, regen, golden_dataset, name):
         fixture = np.load(GOLDEN_DIR / f"{name.replace('-', '_')}.npz")
         assert str(fixture["model"]) == name

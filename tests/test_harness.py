@@ -164,3 +164,80 @@ class TestCheapExperimentRuns:
         canonical = result.extras["canonical_slope"]
         window = result.extras["window_slope"]
         assert canonical > window  # the efficiency claim, directionally
+
+
+class TestBenchReports:
+    """The speedup-gated benches must always stamp their hardware contract.
+
+    ``speedup_gate_enforced`` / ``cores_detected`` are how CI distinguishes
+    "the gate passed" from "the gate could not bite on this host" — both
+    parallel-bench and shard-bench reports must carry them at top level.
+    """
+
+    def test_parallel_bench_report_carries_speedup_gate_flags(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.harness import parallel_bench
+
+        monkeypatch.setattr(parallel_bench, "EQUIVALENCE_EPOCHS", 1)
+        _, report = parallel_bench.run(
+            settings=MICRO,
+            out_dir=tmp_path,
+            fast=True,
+            model_name="gru",
+            worker_counts=(2,),
+        )
+        assert isinstance(report["speedup_gate_enforced"], bool)
+        assert report["cores_detected"] >= 1
+        assert report["speedup_gate_enforced"] == (report["cores_detected"] >= 2)
+        saved = json.loads((tmp_path / "parallel_bench.json").read_text())
+        assert saved["speedup_gate_enforced"] == report["speedup_gate_enforced"]
+        assert "all_passed" in saved
+
+    def test_shard_bench_report_carries_speedup_gate_flags(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.harness import shard_bench
+
+        monkeypatch.setattr(shard_bench, "EQUIVALENCE_MODELS", ("simst",))
+        monkeypatch.setattr(shard_bench, "EQUIVALENCE_EPOCHS", 1)
+        _, report = shard_bench.run(
+            settings=MICRO,
+            out_dir=tmp_path,
+            fast=True,
+            city_sensors=64,
+            city_steps=1,
+        )
+        assert isinstance(report["speedup_gate_enforced"], bool)
+        assert report["cores_detected"] >= 1
+        assert report["speedup_gate_enforced"] == (report["cores_detected"] >= 2)
+        assert report["speedup_gate"]["enforced"] == report["speedup_gate_enforced"]
+        # the unconditional gates must have passed on any host
+        assert all(check["passed"] for check in report["equivalence"])
+        assert report["serve_identity"]["passed"]
+        assert report["city_scale"]["passed"]
+        assert report["city_scale"]["shard_axis"] == "sensor"
+        saved = json.loads((tmp_path / "shard_bench.json").read_text())
+        assert saved["speedup_gate_enforced"] == report["speedup_gate_enforced"]
+        assert "all_passed" in saved
+
+    def test_capacity_report_structure(self, tmp_path):
+        import json
+
+        from repro.harness import capacity
+
+        result, report = capacity.run(settings=MICRO, out_dir=tmp_path)
+        saved = json.loads((tmp_path / "capacity_report.json").read_text())
+        assert saved["sensor_counts"] == report["sensor_counts"]
+        simst = report["models"]["simst"]
+        assert all(plan["sensor_shardable"] for plan in simst.values())
+        # at least one graph-bound family must OOM unshardably at 50k
+        verdicts = [
+            per_count[str(50_000)]
+            for per_count in report["models"].values()
+        ]
+        assert any(
+            not plan["fits"] and not plan["sensor_shardable"] for plan in verdicts
+        )
+        assert result.experiment_id == "capacity"
+        assert len(result.rows) == len(report["models"])

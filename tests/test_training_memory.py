@@ -1,10 +1,11 @@
-"""Analytic memory model: asymptotics and the Table VI OOM boundary."""
+"""Analytic memory model: asymptotics, Table VI OOM boundary, capacity plans."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.training.memory import (
+    CapacityPlanner,
     ModelDims,
     V100_BUDGET_GB,
     activation_gb,
@@ -75,3 +76,81 @@ class TestTableVIBoundary:
         st_wa = activation_gb("window_attention", dims)
         for family in ("attention", "stfgnn", "enhancenet", "agcrn"):
             assert st_wa < activation_gb(family, dims)
+
+    def test_per_sensor_family_linear_in_sensors(self):
+        small = activation_gb("per_sensor", ModelDims(num_sensors=1_000))
+        large = activation_gb("per_sensor", ModelDims(num_sensors=10_000))
+        assert large / small == pytest.approx(10.0, rel=1e-9)
+
+
+class TestCapacityPlanner:
+    """Shard plans over the registered zoo (see repro.harness.capacity)."""
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError, match="budget_gb"):
+            CapacityPlanner(budget_gb=0.0)
+        with pytest.raises(KeyError, match="unknown family"):
+            CapacityPlanner().family_gb("quantum", 100)
+        with pytest.raises(ValueError, match="num_sensors"):
+            CapacityPlanner().plan("simst", 0)
+
+    def test_bytes_per_element_scales_estimates(self):
+        float32 = CapacityPlanner(bytes_per_element=4)
+        float64 = CapacityPlanner(bytes_per_element=8)
+        ratio = float64.family_gb("per_sensor", 5_000) / float32.family_gb(
+            "per_sensor", 5_000
+        )
+        assert ratio == pytest.approx(2.0, rel=1e-12)
+
+    def test_fitting_model_needs_one_shard(self):
+        plan = CapacityPlanner().plan("simst", 10_000)
+        assert plan.family == "per_sensor"
+        assert plan.fits and plan.shards_needed == 1
+        assert plan.sensor_shardable
+
+    def test_shard_solver_uses_ceil_split(self):
+        """shards_needed is the smallest K whose ceil(N/K)-sensor step fits."""
+        planner = CapacityPlanner()
+        num_sensors = 10_000
+        budget = planner.family_gb("per_sensor", num_sensors) / 3.5
+        tight = CapacityPlanner(budget_gb=budget)
+        plan = tight.plan("simst", num_sensors)
+        assert not plan.fits
+        k = plan.shards_needed
+        assert k is not None and k > 1
+        per_shard = -(-num_sensors // k)
+        assert tight.family_gb("per_sensor", per_shard) <= budget
+        previous = -(-num_sensors // (k - 1))
+        assert tight.family_gb("per_sensor", previous) > budget
+
+    def test_quadratic_families_cannot_be_saved_by_sharding(self):
+        plan = CapacityPlanner().plan("stfgnn", 50_000)
+        assert not plan.fits
+        assert not plan.sensor_shardable
+
+    def test_st_wa_not_sensor_shardable(self):
+        plan = CapacityPlanner().plan("st-wa", 10_000)
+        assert plan.family == "window_attention"
+        assert not plan.sensor_shardable
+
+    def test_report_structure(self):
+        report = CapacityPlanner().report(
+            models=("simst", "st-wa"), sensor_counts=(100, 10_000)
+        )
+        assert report["sensor_counts"] == [100, 10_000]
+        assert set(report["models"]) == {"simst", "st-wa"}
+        for per_count in report["models"].values():
+            assert set(per_count) == {"100", "10000"}
+            for plan in per_count.values():
+                assert {
+                    "model", "family", "num_sensors", "activation_gb",
+                    "bytes_per_sensor", "fits", "shards_needed",
+                    "sensor_shardable",
+                } <= set(plan)
+
+    def test_plan_round_trips_to_dict(self):
+        plan = CapacityPlanner().plan("simst", 2_000)
+        payload = plan.to_dict()
+        assert payload["model"] == "simst"
+        assert payload["num_sensors"] == 2_000
+        assert payload["fits"] is True

@@ -29,7 +29,7 @@ if str(REPO_ROOT / "src") not in sys.path:  # direct `python tools/regen_golden.
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.baselines import GRUForecaster, STGCNForecaster  # noqa: E402
-from repro.core import make_st_wa  # noqa: E402
+from repro.core import SimSTForecaster, make_st_wa  # noqa: E402
 from repro.data import SyntheticTrafficConfig, TrafficSimulator, WindowSpec  # noqa: E402
 from repro.data.datasets import TrafficDataset  # noqa: E402
 from repro.data.scalers import StandardScaler  # noqa: E402
@@ -41,8 +41,9 @@ SPEC = WindowSpec(12, 12)
 BATCH_INDICES = np.arange(0, 24, 3)  # 8 samples spread across the split
 MODEL_SEED = 0
 
-#: models frozen as golden fixtures: the paper's model + two baselines
-GOLDEN_MODELS = ("st-wa", "gru", "stgcn")
+#: models frozen as golden fixtures: the paper's model, two baselines, and
+#: the graph-free scaling track
+GOLDEN_MODELS = ("st-wa", "gru", "stgcn", "simst")
 
 
 def build_dataset() -> TrafficDataset:
@@ -84,6 +85,17 @@ def build_model(name: str, dataset: TrafficDataset):
             SPEC.history,
             SPEC.horizon,
             hidden=8,
+            predictor_hidden=32,
+            seed=MODEL_SEED,
+        )
+    if name == "simst":
+        return SimSTForecaster(
+            sensors,
+            dataset.adjacency,
+            SPEC.history,
+            SPEC.horizon,
+            hidden=16,
+            embedding_dim=8,
             predictor_hidden=32,
             seed=MODEL_SEED,
         )
